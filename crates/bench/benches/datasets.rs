@@ -1,0 +1,27 @@
+//! E1 — the dataset-statistics measurement: raw representation vs invariant
+//! size for the three cartographic workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use topo_bench::{dataset_row, IGN_BYTES_PER_POINT, SEQUOIA_BYTES_PER_POINT};
+use topo_datagen::{ign_city, sequoia_hydro, sequoia_landcover, Scale};
+
+fn bench_datasets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataset_statistics");
+    group.sample_size(10);
+    group.bench_function("sequoia_landcover", |b| {
+        let instance = sequoia_landcover(Scale::medium(), 1);
+        b.iter(|| dataset_row("landcover", &instance, SEQUOIA_BYTES_PER_POINT))
+    });
+    group.bench_function("sequoia_hydro", |b| {
+        let instance = sequoia_hydro(Scale::medium(), 2);
+        b.iter(|| dataset_row("hydro", &instance, SEQUOIA_BYTES_PER_POINT))
+    });
+    group.bench_function("ign_city", |b| {
+        let instance = ign_city(Scale::tiny(), 3);
+        b.iter(|| dataset_row("city", &instance, IGN_BYTES_PER_POINT))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_datasets);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E7 — the first-order translation for single-region schemas (Theorem 4.9):
+//! the cost of the cycles/r-type machinery as `r` grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use topo_core::{PointFormula, Region, Schema, SpatialInstance};
+use topo_translate::{cycles_of, equivalent_lemma_4_7, SingleRegionTranslator};
+
+fn star(arms: usize) -> SpatialInstance {
+    let mut region = Region::new();
+    for i in 0..arms {
+        region.add_polyline(vec![
+            topo_core::Point::origin(),
+            topo_core::Point::from_ints(100 + 37 * i as i64, 100 - 23 * i as i64),
+        ]);
+    }
+    let mut instance = SpatialInstance::new(Schema::from_names(["P"]));
+    instance.set_region(0, region);
+    instance
+}
+
+fn bench_fo_translation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fo_translation");
+    group.sample_size(10);
+    let a = topo_core::top(&star(3));
+    let b = topo_core::top(&star(4));
+    group.bench_function("cycles_of", |bch| bch.iter(|| cycles_of(&a, 0).len()));
+    for r in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::new("lemma_4_7_equivalence", r), &r, |bch, &r| {
+            bch.iter(|| equivalent_lemma_4_7(&a, &b, 0, r))
+        });
+    }
+    let sentence = PointFormula::Exists(0, Box::new(PointFormula::InRegion { region: 0, var: 0 }));
+    for r in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::new("translate_single_region", r), &r, |bch, &r| {
+            let candidates: Vec<SpatialInstance> = (1..=3).map(star).collect();
+            bch.iter(|| {
+                let translator = SingleRegionTranslator::new(r, 0, candidates.clone());
+                translator.translate(&sentence).1
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fo_translation);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! E2 — invariant construction time as a function of the raw data size
+//! (Theorem 2.1's polynomial-time bound).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use topo_datagen::{sequoia_landcover, Scale};
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("invariant_construction");
+    group.sample_size(10);
+    for grid in [4usize, 8, 16] {
+        let instance = sequoia_landcover(Scale { grid }, 7);
+        group.bench_with_input(BenchmarkId::new("landcover_grid", grid), &instance, |b, inst| {
+            b.iter(|| topo_core::top(inst))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! E4 — generating the parameterised orderings of Lemma 3.1 and the canonical
+//! code built on top of them (Theorems 3.2 / 3.4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use topo_datagen::{figure1, nested_rings};
+use topo_translate::all_invariant_orderings;
+
+fn bench_orderings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orderings");
+    group.sample_size(10);
+    let fig1 = topo_core::top(&figure1());
+    group.bench_function("lemma_3_1_orderings_figure1", |b| {
+        b.iter(|| all_invariant_orderings(&fig1, 256).len())
+    });
+    group.bench_function("canonical_code_figure1", |b| b.iter(|| fig1.canonical_code()));
+    let rings = topo_core::top(&nested_rings(6, 3));
+    group.bench_function("canonical_code_nested_rings", |b| b.iter(|| rings.canonical_code()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_orderings);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E8 — the four evaluation strategies of the practical-considerations
+//! section, on the same workload and query suite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use topo_bench::strategy_queries;
+use topo_core::{evaluate_direct, evaluate_on_invariant, invert, Semantics};
+use topo_datagen::{sequoia_hydro, Scale};
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluation_strategies");
+    group.sample_size(10);
+    let instance = sequoia_hydro(Scale { grid: 4 }, 11);
+    let invariant = topo_core::top(&instance);
+    let structure = invariant.to_structure();
+    let rebuilt = invert(&invariant).expect("hydro workload is invertible");
+    let queries = strategy_queries();
+
+    group.bench_function("i_direct_on_raw_data", |b| {
+        b.iter(|| queries.iter().filter(|q| evaluate_direct(q, &instance)).count())
+    });
+    group.bench_function("iii_algorithms_on_invariant", |b| {
+        b.iter(|| queries.iter().filter(|q| evaluate_on_invariant(q, &invariant)).count())
+    });
+    group.bench_function("ii_datalog_on_invariant", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .filter_map(|q| topo_core::datalog_program(q, instance.schema()))
+                .filter(|p| {
+                    let out = p.run(&structure, Semantics::Stratified, usize::MAX).unwrap();
+                    out.relation(&p.output).map(|r| !r.is_empty()).unwrap_or(false)
+                })
+                .count()
+        })
+    });
+    group.bench_function("iv_direct_on_rebuilt_instance", |b| {
+        b.iter(|| queries.iter().filter(|q| evaluate_direct(q, &rebuilt)).count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E6 — the linear-time translation of topological sentences into
+//! invariant-side queries (Theorem 4.1) and their evaluation via inversion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use topo_core::PointFormula;
+use topo_translate::TranslatedQuery;
+
+fn sentence_of_depth(depth: usize) -> PointFormula {
+    let mut conjuncts: Vec<PointFormula> =
+        (0..depth as u32).map(|v| PointFormula::InRegion { region: 0, var: v }).collect();
+    for v in 1..depth as u32 {
+        conjuncts.push(PointFormula::LessX(v - 1, v));
+    }
+    let mut formula = PointFormula::And(conjuncts);
+    for v in (0..depth as u32).rev() {
+        formula = PointFormula::Exists(v, Box::new(formula));
+    }
+    formula
+}
+
+fn bench_translation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fixpoint_translation");
+    group.sample_size(10);
+    let invariant = topo_core::top(&topo_datagen::nested_rings(3, 1));
+    for depth in [1usize, 2, 3] {
+        let formula = sentence_of_depth(depth);
+        group.bench_with_input(BenchmarkId::new("translate", depth), &formula, |b, f| {
+            b.iter(|| TranslatedQuery::new(f.clone()).size())
+        });
+        let query = TranslatedQuery::new(formula.clone());
+        group.bench_with_input(BenchmarkId::new("evaluate_on_invariant", depth), &query, |b, q| {
+            b.iter(|| q.evaluate(&invariant).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_translation);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! # topo-core — querying spatial databases via topological invariants
+//!
+//! Facade crate re-exporting the full pipeline of the Segoufin–Vianu system:
+//!
+//! * build spatial instances over a schema of region names
+//!   ([`SpatialInstance`], [`Region`], [`Schema`]),
+//! * compute the topological invariant `top(I)` ([`top`],
+//!   [`TopologicalInvariant`]) and decide topological equivalence by
+//!   canonical codes (Theorem 2.1),
+//! * invert an invariant back to a linear instance ([`invert`],
+//!   Theorem 2.2),
+//! * ask topological queries either directly on the spatial data or on the
+//!   invariant ([`TopologicalQuery`], [`evaluate_direct`],
+//!   [`evaluate_on_invariant`]), including through real fixpoint /
+//!   fixpoint+counting programs run by the relational engine,
+//! * translate topological first-order spatial queries into invariant-side
+//!   queries (crate `topo-translate`, re-exported as [`translate`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use topo_core::{Region, SpatialInstance, TopologicalQuery};
+//!
+//! // Two nested administrative regions.
+//! let instance = SpatialInstance::from_regions([
+//!     ("park", Region::rectangle(0, 0, 100, 100)),
+//!     ("lake", Region::rectangle(30, 30, 70, 70)),
+//! ]);
+//!
+//! // The topological invariant is a small relational annotation of the data.
+//! let invariant = topo_core::top(&instance);
+//! assert_eq!(invariant.cell_count(), 5);
+//!
+//! // Topological queries answered on the invariant agree with direct
+//! // evaluation on the raw geometry.
+//! let query = TopologicalQuery::Contains(0, 1);
+//! assert!(topo_core::evaluate_on_invariant(&query, &invariant));
+//! assert!(topo_core::evaluate_direct(&query, &instance));
+//! ```
+
+pub use topo_arrangement as arrangement;
+pub use topo_datagen as datagen;
+pub use topo_geometry as geometry;
+pub use topo_invariant as invariant;
+pub use topo_queries as queries;
+pub use topo_relational as relational;
+pub use topo_spatial as spatial;
+pub use topo_translate as translate;
+
+pub use topo_geometry::{Point, Rational};
+pub use topo_invariant::{
+    invert, invert_verified, top, top_unreduced, InvariantStats, TopologicalInvariant,
+};
+pub use topo_queries::{
+    component_count, datalog_program, euler_characteristic, evaluate_direct,
+    evaluate_on_invariant, point_formula, TopologicalQuery,
+};
+pub use topo_relational::{Formula, Program, Semantics, Structure};
+pub use topo_spatial::{PointFormula, RealFormula, Region, RegionId, Schema, SpatialInstance};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_pipeline() {
+        let instance = SpatialInstance::from_regions([
+            ("a", Region::rectangle(0, 0, 50, 50)),
+            ("b", Region::rectangle(10, 10, 40, 40)),
+        ]);
+        let invariant = top(&instance);
+        assert!(evaluate_on_invariant(&TopologicalQuery::Contains(0, 1), &invariant));
+        let stats = InvariantStats::compute(&invariant);
+        assert!(stats.cells < instance.point_count() * 3);
+        let rebuilt = invert_verified(&invariant).unwrap();
+        assert!(top(&rebuilt).is_isomorphic_to(&invariant));
+    }
+}

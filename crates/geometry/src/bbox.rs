@@ -1,0 +1,116 @@
+//! Axis-aligned bounding boxes.
+
+use crate::point::Point;
+use crate::rational::Rational;
+
+/// A closed axis-aligned rectangle used for conservative pruning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BBox {
+    /// Minimum x coordinate.
+    pub min_x: Rational,
+    /// Minimum y coordinate.
+    pub min_y: Rational,
+    /// Maximum x coordinate.
+    pub max_x: Rational,
+    /// Maximum y coordinate.
+    pub max_y: Rational,
+}
+
+impl BBox {
+    /// Bounding box of a non-empty slice of points.
+    ///
+    /// # Panics
+    /// Panics on an empty slice.
+    pub fn from_points(points: &[Point]) -> Self {
+        assert!(!points.is_empty(), "bounding box of empty point set");
+        let mut b = BBox {
+            min_x: points[0].x,
+            min_y: points[0].y,
+            max_x: points[0].x,
+            max_y: points[0].y,
+        };
+        for p in &points[1..] {
+            b.expand(p);
+        }
+        b
+    }
+
+    /// Enlarges the box to contain `p`.
+    pub fn expand(&mut self, p: &Point) {
+        self.min_x = self.min_x.min(p.x);
+        self.min_y = self.min_y.min(p.y);
+        self.max_x = self.max_x.max(p.x);
+        self.max_y = self.max_y.max(p.y);
+    }
+
+    /// Smallest box containing both `self` and `other`.
+    pub fn union(&self, other: &BBox) -> BBox {
+        BBox {
+            min_x: self.min_x.min(other.min_x),
+            min_y: self.min_y.min(other.min_y),
+            max_x: self.max_x.max(other.max_x),
+            max_y: self.max_y.max(other.max_y),
+        }
+    }
+
+    /// True iff the two closed boxes share at least one point.
+    pub fn intersects(&self, other: &BBox) -> bool {
+        self.min_x <= other.max_x
+            && other.min_x <= self.max_x
+            && self.min_y <= other.max_y
+            && other.min_y <= self.max_y
+    }
+
+    /// True iff the closed box contains the point.
+    pub fn contains(&self, p: &Point) -> bool {
+        self.min_x <= p.x && p.x <= self.max_x && self.min_y <= p.y && p.y <= self.max_y
+    }
+
+    /// Width of the box.
+    pub fn width(&self) -> Rational {
+        self.max_x - self.min_x
+    }
+
+    /// Height of the box.
+    pub fn height(&self) -> Rational {
+        self.max_y - self.min_y
+    }
+
+    /// Approximate corners for pruning structures.
+    pub fn to_f64(&self) -> (f64, f64, f64, f64) {
+        (self.min_x.to_f64(), self.min_y.to_f64(), self.max_x.to_f64(), self.max_y.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_points_and_contains() {
+        let b = BBox::from_points(&[Point::from_ints(0, 0), Point::from_ints(4, 2), Point::from_ints(-1, 3)]);
+        assert_eq!(b.min_x, Rational::from_int(-1));
+        assert_eq!(b.max_x, Rational::from_int(4));
+        assert!(b.contains(&Point::from_ints(0, 1)));
+        assert!(!b.contains(&Point::from_ints(5, 1)));
+    }
+
+    #[test]
+    fn intersection_test() {
+        let a = BBox::from_points(&[Point::from_ints(0, 0), Point::from_ints(2, 2)]);
+        let b = BBox::from_points(&[Point::from_ints(2, 2), Point::from_ints(4, 4)]);
+        let c = BBox::from_points(&[Point::from_ints(3, 0), Point::from_ints(5, 3)]);
+        assert!(a.intersects(&b)); // touch at a corner
+        assert!(!a.intersects(&c));
+        assert!(b.intersects(&c));
+    }
+
+    #[test]
+    fn union_and_dims() {
+        let a = BBox::from_points(&[Point::from_ints(0, 0), Point::from_ints(1, 1)]);
+        let b = BBox::from_points(&[Point::from_ints(3, -2), Point::from_ints(4, 0)]);
+        let u = a.union(&b);
+        assert_eq!(u.width(), Rational::from_int(4));
+        assert_eq!(u.height(), Rational::from_int(3));
+    }
+}

@@ -1,0 +1,181 @@
+//! Uniform grid over segment bounding boxes.
+//!
+//! The arrangement builder needs all pairs of input segments that might
+//! intersect. An all-pairs scan is quadratic and far too slow for the
+//! cartography-scale workloads of the benchmark harness, so candidate pairs
+//! are generated from a uniform grid keyed on `f64` approximations of the
+//! segment bounding boxes. The grid is purely a *pruning* structure: every
+//! candidate pair is verified with the exact predicates afterwards, and the
+//! conservative box test guarantees no intersecting pair is missed.
+
+use crate::bbox::BBox;
+use crate::segment::Segment;
+use std::collections::HashMap;
+
+/// A uniform spatial hash over segments.
+pub struct SegmentGrid {
+    cell_size: f64,
+    min_x: f64,
+    min_y: f64,
+    cells: HashMap<(i64, i64), Vec<usize>>,
+    boxes: Vec<BBox>,
+}
+
+impl SegmentGrid {
+    /// Builds a grid over the given segments.
+    ///
+    /// The cell size is chosen so the expected number of segments per cell is
+    /// a small constant for uniformly spread data.
+    pub fn build(segments: &[Segment]) -> Self {
+        let boxes: Vec<BBox> = segments.iter().map(|s| s.bbox()).collect();
+        let mut min_x = f64::INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        let mut total_extent = 0.0f64;
+        for b in &boxes {
+            let (x0, y0, x1, y1) = b.to_f64();
+            min_x = min_x.min(x0);
+            min_y = min_y.min(y0);
+            max_x = max_x.max(x1);
+            max_y = max_y.max(y1);
+            total_extent += (x1 - x0).max(y1 - y0);
+        }
+        if boxes.is_empty() {
+            return SegmentGrid {
+                cell_size: 1.0,
+                min_x: 0.0,
+                min_y: 0.0,
+                cells: HashMap::new(),
+                boxes,
+            };
+        }
+        let avg_extent = (total_extent / boxes.len() as f64).max(1e-9);
+        let span = (max_x - min_x).max(max_y - min_y).max(1e-9);
+        // Cells roughly the size of an average segment, clamped so the grid
+        // never exceeds ~2048 cells per side.
+        let cell_size = avg_extent.max(span / 2048.0);
+        let mut grid = SegmentGrid { cell_size, min_x, min_y, cells: HashMap::new(), boxes };
+        for i in 0..segments.len() {
+            let (cx0, cy0, cx1, cy1) = grid.cell_range(&grid.boxes[i]);
+            for cx in cx0..=cx1 {
+                for cy in cy0..=cy1 {
+                    grid.cells.entry((cx, cy)).or_default().push(i);
+                }
+            }
+        }
+        grid
+    }
+
+    fn cell_range(&self, b: &BBox) -> (i64, i64, i64, i64) {
+        let (x0, y0, x1, y1) = b.to_f64();
+        (
+            ((x0 - self.min_x) / self.cell_size).floor() as i64,
+            ((y0 - self.min_y) / self.cell_size).floor() as i64,
+            ((x1 - self.min_x) / self.cell_size).floor() as i64,
+            ((y1 - self.min_y) / self.cell_size).floor() as i64,
+        )
+    }
+
+    /// All pairs `(i, j)` with `i < j` whose grid cells overlap and whose
+    /// exact bounding boxes intersect. Every actually-intersecting pair of
+    /// segments is included.
+    pub fn candidate_pairs(&self) -> Vec<(usize, usize)> {
+        let mut pairs = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for bucket in self.cells.values() {
+            for (k, &i) in bucket.iter().enumerate() {
+                for &j in &bucket[k + 1..] {
+                    let key = if i < j { (i, j) } else { (j, i) };
+                    if seen.insert(key) && self.boxes[key.0].intersects(&self.boxes[key.1]) {
+                        pairs.push(key);
+                    }
+                }
+            }
+        }
+        pairs
+    }
+
+    /// Indices of segments whose bounding box intersects `query`.
+    pub fn query_box(&self, query: &BBox) -> Vec<usize> {
+        if self.boxes.is_empty() {
+            return Vec::new();
+        }
+        let (cx0, cy0, cx1, cy1) = self.cell_range(query);
+        let mut out = std::collections::HashSet::new();
+        for cx in cx0..=cx1 {
+            for cy in cy0..=cy1 {
+                if let Some(bucket) = self.cells.get(&(cx, cy)) {
+                    for &i in bucket {
+                        if self.boxes[i].intersects(query) {
+                            out.insert(i);
+                        }
+                    }
+                }
+            }
+        }
+        let mut v: Vec<usize> = out.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+    use crate::segment::SegmentIntersection;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn seg(ax: i64, ay: i64, bx: i64, by: i64) -> Segment {
+        Segment::new(Point::from_ints(ax, ay), Point::from_ints(bx, by))
+    }
+
+    #[test]
+    fn grid_finds_all_intersecting_pairs() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut segments = Vec::new();
+        for _ in 0..120 {
+            let ax = rng.gen_range(-50..50);
+            let ay = rng.gen_range(-50..50);
+            let mut bx = rng.gen_range(-50..50);
+            let mut by = rng.gen_range(-50..50);
+            if (ax, ay) == (bx, by) {
+                bx += 1;
+                by += 1;
+            }
+            segments.push(seg(ax, ay, bx, by));
+        }
+        // Ground truth by brute force.
+        let mut truth = std::collections::HashSet::new();
+        for i in 0..segments.len() {
+            for j in i + 1..segments.len() {
+                if segments[i].intersect(&segments[j]) != SegmentIntersection::None {
+                    truth.insert((i, j));
+                }
+            }
+        }
+        let grid = SegmentGrid::build(&segments);
+        let candidates: std::collections::HashSet<(usize, usize)> =
+            grid.candidate_pairs().into_iter().collect();
+        for pair in &truth {
+            assert!(candidates.contains(pair), "missing intersecting pair {pair:?}");
+        }
+    }
+
+    #[test]
+    fn empty_grid() {
+        let grid = SegmentGrid::build(&[]);
+        assert!(grid.candidate_pairs().is_empty());
+    }
+
+    #[test]
+    fn query_box_returns_overlapping() {
+        let segments = vec![seg(0, 0, 1, 1), seg(10, 10, 11, 11), seg(0, 1, 1, 0)];
+        let grid = SegmentGrid::build(&segments);
+        let q = BBox::from_points(&[Point::from_ints(0, 0), Point::from_ints(2, 2)]);
+        let hits = grid.query_box(&q);
+        assert_eq!(hits, vec![0, 2]);
+    }
+}

@@ -1,0 +1,38 @@
+//! Exact rational 2-D geometry kernel.
+//!
+//! This crate is the numeric substrate of the topological-invariant pipeline.
+//! Everything that decides *topology* — orientation of three points, whether
+//! two segments cross, the angular order of edges around a vertex — is
+//! computed exactly over rational numbers ([`Rational`]), so the maximal
+//! topological cell decomposition built on top of it (crate
+//! `topo-arrangement`) is combinatorially exact.
+//!
+//! The kernel deliberately stays small:
+//!
+//! * [`Rational`] — reduced `i128` fractions with exact comparison (products
+//!   are compared through a 256-bit widening multiply so comparisons never
+//!   overflow).
+//! * [`Point`] — a point of the rational plane.
+//! * [`Segment`] — a closed straight-line segment with exact intersection.
+//! * [`predicates`] — orientation / collinearity / on-segment tests.
+//! * [`angle`] — exact angular (rotational) comparison of direction vectors,
+//!   used to build rotation systems around arrangement vertices.
+//! * [`BBox`] and [`SegmentGrid`] — conservative bounding boxes and a uniform
+//!   grid used only to *prune* candidate pairs; every reported intersection is
+//!   re-checked exactly.
+
+pub mod angle;
+pub mod bbox;
+pub mod grid;
+pub mod point;
+pub mod predicates;
+pub mod rational;
+pub mod segment;
+
+pub use angle::{pseudo_angle_cmp, DirectionVector};
+pub use bbox::BBox;
+pub use grid::SegmentGrid;
+pub use point::Point;
+pub use predicates::{orientation, point_on_segment, Orientation};
+pub use rational::Rational;
+pub use segment::{Segment, SegmentIntersection};

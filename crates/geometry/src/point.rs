@@ -1,0 +1,98 @@
+//! Points of the rational plane.
+
+use crate::rational::Rational;
+use std::fmt;
+
+/// A point of the rational plane `Q²`.
+///
+/// Points compare lexicographically (`x` first, then `y`), which is the order
+/// used to sort subdivision points along segments and to pick canonical
+/// starting vertices in the arrangement.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Point {
+    /// The x coordinate.
+    pub x: Rational,
+    /// The y coordinate.
+    pub y: Rational,
+}
+
+impl Point {
+    /// Builds a point from two rationals.
+    pub fn new(x: Rational, y: Rational) -> Self {
+        Point { x, y }
+    }
+
+    /// Builds a point with integer coordinates.
+    pub fn from_ints(x: i64, y: i64) -> Self {
+        Point { x: Rational::from_int(x), y: Rational::from_int(y) }
+    }
+
+    /// The origin `(0, 0)`.
+    pub fn origin() -> Self {
+        Point { x: Rational::ZERO, y: Rational::ZERO }
+    }
+
+    /// Component-wise difference, viewed as a direction vector `self - other`.
+    pub fn sub(&self, other: &Point) -> (Rational, Rational) {
+        (self.x - other.x, self.y - other.y)
+    }
+
+    /// The midpoint of `self` and `other`.
+    pub fn midpoint(&self, other: &Point) -> Point {
+        Point { x: self.x.midpoint(&other.x), y: self.y.midpoint(&other.y) }
+    }
+
+    /// Squared Euclidean distance to `other`, as an exact rational.
+    pub fn distance_sq(&self, other: &Point) -> Rational {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Approximate coordinates for reporting and pruning only.
+    pub fn to_f64(&self) -> (f64, f64) {
+        (self.x.to_f64(), self.y.to_f64())
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?}, {:?})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexicographic_order() {
+        let a = Point::from_ints(0, 5);
+        let b = Point::from_ints(1, 0);
+        let c = Point::from_ints(0, 7);
+        assert!(a < b);
+        assert!(a < c);
+        assert!(c < b);
+    }
+
+    #[test]
+    fn midpoint_and_distance() {
+        let a = Point::from_ints(0, 0);
+        let b = Point::from_ints(2, 4);
+        assert_eq!(a.midpoint(&b), Point::from_ints(1, 2));
+        assert_eq!(a.distance_sq(&b), Rational::from_int(20));
+    }
+
+    #[test]
+    fn sub_gives_direction() {
+        let a = Point::from_ints(3, 4);
+        let b = Point::from_ints(1, 1);
+        assert_eq!(a.sub(&b), (Rational::from_int(2), Rational::from_int(3)));
+    }
+}

@@ -1,0 +1,91 @@
+//! Exact geometric predicates.
+
+use crate::point::Point;
+use crate::rational::Rational;
+
+/// Orientation of an ordered triple of points.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Orientation {
+    /// The triple makes a left turn (counterclockwise).
+    CounterClockwise,
+    /// The triple makes a right turn (clockwise).
+    Clockwise,
+    /// The three points are collinear.
+    Collinear,
+}
+
+/// Exact orientation test for the triple `(a, b, c)`.
+///
+/// Returns the sign of the cross product `(b - a) × (c - a)`.
+pub fn orientation(a: &Point, b: &Point, c: &Point) -> Orientation {
+    let (abx, aby) = b.sub(a);
+    let (acx, acy) = c.sub(a);
+    let cross = abx * acy - aby * acx;
+    match cross.signum() {
+        1 => Orientation::CounterClockwise,
+        -1 => Orientation::Clockwise,
+        _ => Orientation::Collinear,
+    }
+}
+
+/// The signed cross product `(b - a) × (c - a)` as an exact rational.
+pub fn cross(a: &Point, b: &Point, c: &Point) -> Rational {
+    let (abx, aby) = b.sub(a);
+    let (acx, acy) = c.sub(a);
+    abx * acy - aby * acx
+}
+
+/// True iff `p` lies on the closed segment `[a, b]`.
+pub fn point_on_segment(p: &Point, a: &Point, b: &Point) -> bool {
+    if orientation(a, b, p) != Orientation::Collinear {
+        return false;
+    }
+    within(&p.x, &a.x, &b.x) && within(&p.y, &a.y, &b.y)
+}
+
+/// True iff `p` lies strictly inside the open segment `(a, b)`.
+pub fn point_strictly_inside_segment(p: &Point, a: &Point, b: &Point) -> bool {
+    point_on_segment(p, a, b) && p != a && p != b
+}
+
+fn within(v: &Rational, lo: &Rational, hi: &Rational) -> bool {
+    let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+    lo <= v && v <= hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orientation_basic() {
+        let a = Point::from_ints(0, 0);
+        let b = Point::from_ints(1, 0);
+        let c = Point::from_ints(1, 1);
+        assert_eq!(orientation(&a, &b, &c), Orientation::CounterClockwise);
+        assert_eq!(orientation(&a, &c, &b), Orientation::Clockwise);
+        let d = Point::from_ints(2, 0);
+        assert_eq!(orientation(&a, &b, &d), Orientation::Collinear);
+    }
+
+    #[test]
+    fn on_segment() {
+        let a = Point::from_ints(0, 0);
+        let b = Point::from_ints(4, 4);
+        assert!(point_on_segment(&Point::from_ints(2, 2), &a, &b));
+        assert!(point_on_segment(&a, &a, &b));
+        assert!(!point_on_segment(&Point::from_ints(5, 5), &a, &b));
+        assert!(!point_on_segment(&Point::from_ints(2, 3), &a, &b));
+        assert!(point_strictly_inside_segment(&Point::from_ints(2, 2), &a, &b));
+        assert!(!point_strictly_inside_segment(&a, &a, &b));
+    }
+
+    #[test]
+    fn cross_sign_matches_orientation() {
+        let a = Point::from_ints(0, 0);
+        let b = Point::from_ints(3, 1);
+        let c = Point::from_ints(1, 2);
+        assert!(cross(&a, &b, &c).signum() > 0);
+        assert_eq!(orientation(&a, &b, &c), Orientation::CounterClockwise);
+    }
+}

@@ -1,0 +1,412 @@
+//! Exact rational numbers over `i128`.
+//!
+//! A [`Rational`] is always kept in canonical form: the denominator is
+//! strictly positive and `gcd(|num|, den) == 1`. Canonical form makes
+//! equality and hashing structural, which the arrangement code relies on to
+//! deduplicate vertices.
+//!
+//! Arithmetic uses `i128` with a pre-reduction step (the classical
+//! `a/b * c/d = (a/gcd(a,d)) * (c/gcd(c,b)) / ...` trick) so intermediate
+//! products stay as small as possible; overflow panics rather than silently
+//! wrapping. Comparison is always exact: cross products are evaluated with a
+//! 256-bit widening multiply, so even rationals near the `i128` limits compare
+//! correctly.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// An exact rational number `num / den` with `den > 0` and the fraction fully
+/// reduced.
+#[derive(Clone, Copy)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+/// Greatest common divisor of two non-negative integers.
+fn gcd_u(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Greatest common divisor, as a positive `i128` (returns 1 for `gcd(0,0)` so
+/// division is always safe).
+fn gcd(a: i128, b: i128) -> i128 {
+    let g = gcd_u(a.unsigned_abs(), b.unsigned_abs());
+    if g == 0 {
+        1
+    } else {
+        g as i128
+    }
+}
+
+/// Sign and magnitude of a signed 256-bit product of two `i128`s.
+fn wide_mul(a: i128, b: i128) -> (i8, u128, u128) {
+    let sign = match (a.signum() * b.signum()).cmp(&0) {
+        Ordering::Less => -1,
+        Ordering::Equal => 0,
+        Ordering::Greater => 1,
+    };
+    let ua = a.unsigned_abs();
+    let ub = b.unsigned_abs();
+    // Split into 64-bit limbs and do the schoolbook product.
+    let (a_hi, a_lo) = (ua >> 64, ua & u64::MAX as u128);
+    let (b_hi, b_lo) = (ub >> 64, ub & u64::MAX as u128);
+    let ll = a_lo * b_lo;
+    let lh = a_lo * b_hi;
+    let hl = a_hi * b_lo;
+    let hh = a_hi * b_hi;
+    let mid = lh.wrapping_add(hl);
+    let mid_carry = if mid < lh { 1u128 << 64 } else { 0 };
+    let lo = ll.wrapping_add(mid << 64);
+    let lo_carry = if lo < ll { 1u128 } else { 0 };
+    let hi = hh + (mid >> 64) + mid_carry + lo_carry;
+    (sign, hi, lo)
+}
+
+/// Compare two signed 256-bit values given as (sign, hi, lo).
+fn cmp_wide(x: (i8, u128, u128), y: (i8, u128, u128)) -> Ordering {
+    if x.0 != y.0 {
+        return x.0.cmp(&y.0);
+    }
+    let mag = (x.1, x.2).cmp(&(y.1, y.2));
+    match x.0 {
+        1 => mag,
+        -1 => mag.reverse(),
+        _ => Ordering::Equal,
+    }
+}
+
+impl Rational {
+    /// The rational zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational one.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Builds a rational from a numerator and denominator.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "rational with zero denominator");
+        let (mut num, mut den) = if den < 0 { (-num, -den) } else { (num, den) };
+        let g = gcd(num, den);
+        num /= g;
+        den /= g;
+        Rational { num, den }
+    }
+
+    /// Builds a rational from an integer.
+    pub fn from_int(n: i64) -> Self {
+        Rational { num: n as i128, den: 1 }
+    }
+
+    /// The reduced numerator (the sign of the rational lives here).
+    pub fn numerator(&self) -> i128 {
+        self.num
+    }
+
+    /// The reduced, strictly positive denominator.
+    pub fn denominator(&self) -> i128 {
+        self.den
+    }
+
+    /// True iff the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// True iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Sign of the value: -1, 0 or 1.
+    pub fn signum(&self) -> i32 {
+        self.num.signum() as i32
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Self {
+        Rational { num: self.num.abs(), den: self.den }
+    }
+
+    /// Approximate `f64` value (only used for pruning structures and reports,
+    /// never for topological decisions).
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// The arithmetic mean of `self` and `other`.
+    pub fn midpoint(&self, other: &Rational) -> Rational {
+        (*self + *other) / Rational::from_int(2)
+    }
+
+    /// Minimum of two rationals.
+    pub fn min(self, other: Rational) -> Rational {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Maximum of two rationals.
+    pub fn max(self, other: Rational) -> Rational {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    fn checked_mul_i128(a: i128, b: i128) -> i128 {
+        a.checked_mul(b).expect("rational arithmetic overflow (i128)")
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl PartialEq for Rational {
+    fn eq(&self, other: &Self) -> bool {
+        // Canonical form makes structural equality exact equality.
+        self.num == other.num && self.den == other.den
+    }
+}
+
+impl Eq for Rational {}
+
+impl Hash for Rational {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.num.hash(state);
+        self.den.hash(state);
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b vs c/d  (b, d > 0)  ⇔  a*d vs c*b, computed in 256 bits.
+        cmp_wide(wide_mul(self.num, other.den), wide_mul(other.num, self.den))
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        // a/b + c/d = (a*(d/g) + c*(b/g)) / (b/g * d), g = gcd(b, d)
+        let g = gcd(self.den, rhs.den);
+        let lhs_scale = rhs.den / g;
+        let rhs_scale = self.den / g;
+        let num = Rational::checked_mul_i128(self.num, lhs_scale)
+            .checked_add(Rational::checked_mul_i128(rhs.num, rhs_scale))
+            .expect("rational addition overflow");
+        let den = Rational::checked_mul_i128(self.den, lhs_scale);
+        Rational::new(num, den)
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        self + (-rhs)
+    }
+}
+
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = *self - rhs;
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational { num: -self.num, den: self.den }
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        // Cross-reduce before multiplying to keep intermediates small.
+        let g1 = gcd(self.num, rhs.den);
+        let g2 = gcd(rhs.num, self.den);
+        let num = Rational::checked_mul_i128(self.num / g1, rhs.num / g2);
+        let den = Rational::checked_mul_i128(self.den / g2, rhs.den / g1);
+        Rational::new(num, den)
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        assert!(!rhs.is_zero(), "division of rational by zero");
+        self * Rational { num: rhs.den * rhs.num.signum(), den: rhs.num.abs() }
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(n: i64) -> Self {
+        Rational::from_int(n)
+    }
+}
+
+impl From<i32> for Rational {
+    fn from(n: i32) -> Self {
+        Rational::from_int(n as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn canonical_form() {
+        let r = Rational::new(2, 4);
+        assert_eq!(r.numerator(), 1);
+        assert_eq!(r.denominator(), 2);
+        let r = Rational::new(3, -6);
+        assert_eq!(r.numerator(), -1);
+        assert_eq!(r.denominator(), 2);
+        let r = Rational::new(0, -5);
+        assert_eq!(r, Rational::ZERO);
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Rational::new(1, 2);
+        let b = Rational::new(1, 3);
+        assert_eq!(a + b, Rational::new(5, 6));
+        assert_eq!(a - b, Rational::new(1, 6));
+        assert_eq!(a * b, Rational::new(1, 6));
+        assert_eq!(a / b, Rational::new(3, 2));
+        assert_eq!(-a, Rational::new(-1, 2));
+    }
+
+    #[test]
+    fn ordering_is_exact_for_large_values() {
+        // Denominators near 2^63: naive i128 cross multiplication would overflow.
+        let big = (1i128 << 100) + 1;
+        let a = Rational::new(big, big - 1);
+        let b = Rational::new(big + 1, big);
+        // a = 1 + 1/(big-1), b = 1 + 1/big, so a > b.
+        assert!(a > b);
+        assert!(b < a);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn midpoint_and_minmax() {
+        let a = Rational::from_int(1);
+        let b = Rational::from_int(2);
+        assert_eq!(a.midpoint(&b), Rational::new(3, 2));
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn division_by_zero_panics() {
+        let _ = Rational::ONE / Rational::ZERO;
+    }
+
+    #[test]
+    fn signum_and_abs() {
+        assert_eq!(Rational::new(-3, 4).signum(), -1);
+        assert_eq!(Rational::ZERO.signum(), 0);
+        assert_eq!(Rational::new(3, 4).signum(), 1);
+        assert_eq!(Rational::new(-3, 4).abs(), Rational::new(3, 4));
+    }
+
+    fn small_rational() -> impl Strategy<Value = Rational> {
+        (-1000i128..1000, 1i128..1000).prop_map(|(n, d)| Rational::new(n, d))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_commutative(a in small_rational(), b in small_rational()) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn prop_mul_commutative(a in small_rational(), b in small_rational()) {
+            prop_assert_eq!(a * b, b * a);
+        }
+
+        #[test]
+        fn prop_add_associative(a in small_rational(), b in small_rational(), c in small_rational()) {
+            prop_assert_eq!((a + b) + c, a + (b + c));
+        }
+
+        #[test]
+        fn prop_distributive(a in small_rational(), b in small_rational(), c in small_rational()) {
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+        }
+
+        #[test]
+        fn prop_sub_inverse(a in small_rational(), b in small_rational()) {
+            prop_assert_eq!((a + b) - b, a);
+        }
+
+        #[test]
+        fn prop_ordering_total(a in small_rational(), b in small_rational()) {
+            let by_cmp = a.cmp(&b);
+            let by_float = a.to_f64().partial_cmp(&b.to_f64()).unwrap();
+            // f64 has enough precision for these small rationals, so the exact
+            // comparison must agree with it.
+            prop_assert_eq!(by_cmp, by_float);
+        }
+
+        #[test]
+        fn prop_midpoint_between(a in small_rational(), b in small_rational()) {
+            let m = a.midpoint(&b);
+            prop_assert!(m >= a.min(b) && m <= a.max(b));
+        }
+    }
+}

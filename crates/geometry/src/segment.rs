@@ -1,0 +1,267 @@
+//! Closed straight-line segments with exact intersection.
+
+use crate::bbox::BBox;
+use crate::point::Point;
+use crate::predicates::{cross, orientation, point_on_segment, Orientation};
+use crate::rational::Rational;
+
+/// A closed segment of the rational plane with distinct endpoints.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Segment {
+    /// One endpoint.
+    pub a: Point,
+    /// The other endpoint.
+    pub b: Point,
+}
+
+/// Result of intersecting two segments.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SegmentIntersection {
+    /// The segments do not meet.
+    None,
+    /// The segments meet in a single point.
+    Point(Point),
+    /// The segments overlap along a (degenerate or not) sub-segment, given by
+    /// its two endpoints (which may coincide).
+    Overlap(Point, Point),
+}
+
+impl Segment {
+    /// Builds a segment.
+    ///
+    /// # Panics
+    /// Panics if the endpoints coincide — degenerate segments are represented
+    /// as isolated points upstream, never as segments.
+    pub fn new(a: Point, b: Point) -> Self {
+        assert!(a != b, "degenerate segment");
+        Segment { a, b }
+    }
+
+    /// The segment with endpoints swapped.
+    pub fn reversed(&self) -> Segment {
+        Segment { a: self.b, b: self.a }
+    }
+
+    /// The segment with endpoints in lexicographic order (used as a
+    /// deduplication key).
+    pub fn canonical(&self) -> Segment {
+        if self.a <= self.b {
+            *self
+        } else {
+            self.reversed()
+        }
+    }
+
+    /// The midpoint of the segment.
+    pub fn midpoint(&self) -> Point {
+        self.a.midpoint(&self.b)
+    }
+
+    /// The bounding box of the segment.
+    pub fn bbox(&self) -> BBox {
+        BBox::from_points(&[self.a, self.b])
+    }
+
+    /// True iff `p` lies on the closed segment.
+    pub fn contains_point(&self, p: &Point) -> bool {
+        point_on_segment(p, &self.a, &self.b)
+    }
+
+    /// Exact intersection of two closed segments.
+    pub fn intersect(&self, other: &Segment) -> SegmentIntersection {
+        let (p1, p2) = (&self.a, &self.b);
+        let (p3, p4) = (&other.a, &other.b);
+
+        let d1 = orientation(p3, p4, p1);
+        let d2 = orientation(p3, p4, p2);
+        let d3 = orientation(p1, p2, p3);
+        let d4 = orientation(p1, p2, p4);
+
+        let collinear_all = d1 == Orientation::Collinear
+            && d2 == Orientation::Collinear
+            && d3 == Orientation::Collinear
+            && d4 == Orientation::Collinear;
+
+        if collinear_all {
+            return self.collinear_overlap(other);
+        }
+
+        let proper = d1 != d2
+            && d3 != d4
+            && d1 != Orientation::Collinear
+            && d2 != Orientation::Collinear
+            && d3 != Orientation::Collinear
+            && d4 != Orientation::Collinear;
+        if proper {
+            return SegmentIntersection::Point(self.line_intersection_point(other));
+        }
+
+        // Endpoint-touching cases: one endpoint lies on the other segment.
+        for p in [p1, p2] {
+            if other.contains_point(p) {
+                return SegmentIntersection::Point(*p);
+            }
+        }
+        for p in [p3, p4] {
+            if self.contains_point(p) {
+                return SegmentIntersection::Point(*p);
+            }
+        }
+        SegmentIntersection::None
+    }
+
+    /// Intersection point of the two supporting lines, assuming they properly
+    /// cross (caller guarantees non-parallel).
+    fn line_intersection_point(&self, other: &Segment) -> Point {
+        // Solve  a + t (b - a) = c + s (d - c)  for t using cross products.
+        let (rx, ry) = self.b.sub(&self.a);
+        let denom = {
+            let (sx, sy) = other.b.sub(&other.a);
+            rx * sy - ry * sx
+        };
+        debug_assert!(!denom.is_zero());
+        let t = cross(&self.a, &other.a, &other.b) / denom;
+        Point::new(self.a.x + rx * t, self.a.y + ry * t)
+    }
+
+    /// Overlap of two collinear segments.
+    fn collinear_overlap(&self, other: &Segment) -> SegmentIntersection {
+        // Order the endpoints along the common line by lexicographic order of
+        // points, which is consistent with the order along the line.
+        let (a1, a2) = minmax(self.a, self.b);
+        let (b1, b2) = minmax(other.a, other.b);
+        let lo = if a1 >= b1 { a1 } else { b1 };
+        let hi = if a2 <= b2 { a2 } else { b2 };
+        if lo > hi {
+            SegmentIntersection::None
+        } else if lo == hi {
+            SegmentIntersection::Point(lo)
+        } else {
+            SegmentIntersection::Overlap(lo, hi)
+        }
+    }
+
+    /// The point at parameter `t` along the segment (`t = 0` gives `a`,
+    /// `t = 1` gives `b`).
+    pub fn point_at(&self, t: Rational) -> Point {
+        let (dx, dy) = self.b.sub(&self.a);
+        Point::new(self.a.x + dx * t, self.a.y + dy * t)
+    }
+}
+
+fn minmax(a: Point, b: Point) -> (Point, Point) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn seg(ax: i64, ay: i64, bx: i64, by: i64) -> Segment {
+        Segment::new(Point::from_ints(ax, ay), Point::from_ints(bx, by))
+    }
+
+    #[test]
+    fn proper_crossing() {
+        let s1 = seg(0, 0, 4, 4);
+        let s2 = seg(0, 4, 4, 0);
+        assert_eq!(s1.intersect(&s2), SegmentIntersection::Point(Point::from_ints(2, 2)));
+    }
+
+    #[test]
+    fn non_integer_crossing() {
+        let s1 = seg(0, 0, 1, 1);
+        let s2 = seg(0, 1, 1, 0);
+        let expected = Point::new(Rational::new(1, 2), Rational::new(1, 2));
+        assert_eq!(s1.intersect(&s2), SegmentIntersection::Point(expected));
+    }
+
+    #[test]
+    fn endpoint_touch() {
+        let s1 = seg(0, 0, 2, 2);
+        let s2 = seg(2, 2, 4, 0);
+        assert_eq!(s1.intersect(&s2), SegmentIntersection::Point(Point::from_ints(2, 2)));
+        let s3 = seg(1, 1, 3, -1);
+        assert_eq!(s1.intersect(&s3), SegmentIntersection::Point(Point::from_ints(1, 1)));
+    }
+
+    #[test]
+    fn disjoint() {
+        let s1 = seg(0, 0, 1, 0);
+        let s2 = seg(0, 1, 1, 1);
+        assert_eq!(s1.intersect(&s2), SegmentIntersection::None);
+        let s3 = seg(3, 0, 4, 0);
+        assert_eq!(s1.intersect(&s3), SegmentIntersection::None);
+    }
+
+    #[test]
+    fn collinear_overlap() {
+        let s1 = seg(0, 0, 4, 0);
+        let s2 = seg(2, 0, 6, 0);
+        assert_eq!(
+            s1.intersect(&s2),
+            SegmentIntersection::Overlap(Point::from_ints(2, 0), Point::from_ints(4, 0))
+        );
+        let s3 = seg(4, 0, 8, 0);
+        assert_eq!(s1.intersect(&s3), SegmentIntersection::Point(Point::from_ints(4, 0)));
+        let s4 = seg(5, 0, 8, 0);
+        assert_eq!(s1.intersect(&s4), SegmentIntersection::None);
+    }
+
+    #[test]
+    fn t_shaped_touch() {
+        let s1 = seg(0, 0, 4, 0);
+        let s2 = seg(2, -1, 2, 0);
+        assert_eq!(s1.intersect(&s2), SegmentIntersection::Point(Point::from_ints(2, 0)));
+    }
+
+    #[test]
+    fn point_at_parameters() {
+        let s = seg(0, 0, 4, 2);
+        assert_eq!(s.point_at(Rational::ZERO), s.a);
+        assert_eq!(s.point_at(Rational::ONE), s.b);
+        assert_eq!(s.point_at(Rational::new(1, 2)), Point::from_ints(2, 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn degenerate_segment_panics() {
+        let _ = Segment::new(Point::from_ints(1, 1), Point::from_ints(1, 1));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_intersection_symmetric(
+            ax in -20i64..20, ay in -20i64..20, bx in -20i64..20, by in -20i64..20,
+            cx in -20i64..20, cy in -20i64..20, dx in -20i64..20, dy in -20i64..20,
+        ) {
+            prop_assume!((ax, ay) != (bx, by) && (cx, cy) != (dx, dy));
+            let s1 = seg(ax, ay, bx, by);
+            let s2 = seg(cx, cy, dx, dy);
+            let i12 = s1.intersect(&s2);
+            let i21 = s2.intersect(&s1);
+            // The intersection set is symmetric (representation may differ only
+            // for overlaps where endpoints are already normalised).
+            prop_assert_eq!(i12, i21);
+        }
+
+        #[test]
+        fn prop_intersection_point_on_both(
+            ax in -20i64..20, ay in -20i64..20, bx in -20i64..20, by in -20i64..20,
+            cx in -20i64..20, cy in -20i64..20, dx in -20i64..20, dy in -20i64..20,
+        ) {
+            prop_assume!((ax, ay) != (bx, by) && (cx, cy) != (dx, dy));
+            let s1 = seg(ax, ay, bx, by);
+            let s2 = seg(cx, cy, dx, dy);
+            if let SegmentIntersection::Point(p) = s1.intersect(&s2) {
+                prop_assert!(s1.contains_point(&p));
+                prop_assert!(s2.contains_point(&p));
+            }
+        }
+    }
+}

@@ -1,0 +1,541 @@
+//! Parameterised orderings (Lemma 3.1) and canonical codes (Theorems 3.2/3.4).
+//!
+//! Lemma 3.1 shows that once an orientation, a vertex and an adjacent proper
+//! edge are fixed, a total order on the vertices, edges and faces of a
+//! connected component of the invariant is definable in fixpoint logic. The
+//! canonical form of the whole invariant is then obtained, as in the proof of
+//! Theorem 3.4, by recursing over the connected-component tree: every subtree
+//! is serialised relative to each parameter choice, children embedded in the
+//! same face are combined as a sorted multiset (this is where counting is
+//! needed in the logic), and the lexicographically least serialisation is
+//! kept.
+//!
+//! Two invariants have equal canonical codes iff they are isomorphic, which by
+//! Theorem 2.1(ii) means the underlying spatial instances are topologically
+//! equivalent. The test suites cross-validate this equivalence against the
+//! generic backtracking isomorphism of `topo-relational`.
+
+use crate::invariant::{CellKind, ComponentId, ConeItem, TopologicalInvariant};
+use std::collections::HashMap;
+
+/// A canonical code: equal codes iff isomorphic invariants.
+pub type CanonicalCode = String;
+
+/// A reference to a cell of the invariant.
+pub type CellRef = (CellKind, usize);
+
+/// The orientation parameter of Lemma 3.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Orientation {
+    /// Read rotations counterclockwise (as stored).
+    CounterClockwise,
+    /// Read rotations clockwise.
+    Clockwise,
+}
+
+/// One parameterised ordering of a connected component (Lemma 3.1): the
+/// parameter choice and the resulting total order on the component's
+/// vertices, edges and owned faces.
+#[derive(Clone, Debug)]
+pub struct ComponentOrdering {
+    /// The orientation used.
+    pub orientation: Orientation,
+    /// The start vertex, if the component has any vertex.
+    pub start_vertex: Option<usize>,
+    /// The start edge (a proper edge adjacent to the start vertex, or a loop
+    /// slot for loop-only components).
+    pub start_edge: Option<usize>,
+    /// The total order: vertices first (in traversal order), then edges, then
+    /// the faces owned by the component.
+    pub order: Vec<CellRef>,
+}
+
+/// All parameterised orderings of a component under a fixed orientation,
+/// exactly one per admissible `(vertex, proper edge)` choice (plus the single
+/// trivial choice for the degenerate components of Lemma 3.1's special
+/// cases).
+pub fn component_orderings(
+    invariant: &TopologicalInvariant,
+    component: ComponentId,
+    orientation: Orientation,
+) -> Vec<ComponentOrdering> {
+    let comp = &invariant.components()[component];
+    let proper_edges: Vec<usize> = comp
+        .edges
+        .iter()
+        .copied()
+        .filter(|&e| matches!(invariant.edge_endpoints(e), Some((a, b)) if a != b))
+        .collect();
+
+    if !proper_edges.is_empty() {
+        let mut out = Vec::new();
+        for &v in &comp.vertices {
+            for &(e, _) in invariant.vertex_slots(v) {
+                if !proper_edges.contains(&e) {
+                    continue;
+                }
+                out.push(build_ordering(invariant, component, orientation, v, e));
+            }
+        }
+        // A vertex adjacent to the same proper edge twice cannot happen (a
+        // proper edge has distinct endpoints), but a loop shares its slots, so
+        // deduplicate identical (vertex, edge) choices.
+        out.dedup_by(|a, b| a.start_vertex == b.start_vertex && a.start_edge == b.start_edge);
+        return out;
+    }
+
+    // Special cases: no proper edge.
+    if comp.edges.is_empty() {
+        // An isolated vertex.
+        let v = comp.vertices[0];
+        return vec![ComponentOrdering {
+            orientation,
+            start_vertex: Some(v),
+            start_edge: None,
+            order: vec![(CellKind::Vertex, v)],
+        }];
+    }
+    if comp.vertices.is_empty() {
+        // A single vertex-free closed curve.
+        let e = comp.edges[0];
+        let mut order = vec![(CellKind::Edge, e)];
+        for f in invariant.owned_faces(component) {
+            order.push((CellKind::Face, f));
+        }
+        return vec![ComponentOrdering { orientation, start_vertex: None, start_edge: Some(e), order }];
+    }
+    // A single vertex with loops only: one ordering per starting slot.
+    let v = comp.vertices[0];
+    let slots = invariant.vertex_slots(v);
+    let mut out = Vec::new();
+    for start in 0..slots.len() {
+        let mut edge_order: Vec<usize> = Vec::new();
+        for k in 0..slots.len() {
+            let idx = rotated_index(start, k, slots.len(), orientation);
+            let (e, _) = slots[idx];
+            if !edge_order.contains(&e) {
+                edge_order.push(e);
+            }
+        }
+        let mut order: Vec<CellRef> = vec![(CellKind::Vertex, v)];
+        order.extend(edge_order.iter().map(|&e| (CellKind::Edge, e)));
+        let edge_rank: HashMap<usize, usize> =
+            edge_order.iter().enumerate().map(|(i, &e)| (e, i)).collect();
+        order.extend(ordered_owned_faces(invariant, component, &edge_rank).into_iter().map(|f| (CellKind::Face, f)));
+        out.push(ComponentOrdering {
+            orientation,
+            start_vertex: Some(v),
+            start_edge: Some(slots[start].0),
+            order,
+        });
+    }
+    out
+}
+
+fn rotated_index(start: usize, offset: usize, len: usize, orientation: Orientation) -> usize {
+    match orientation {
+        Orientation::CounterClockwise => (start + offset) % len,
+        Orientation::Clockwise => (start + len - (offset % len)) % len,
+    }
+}
+
+/// Lemma 3.1's traversal for a component with proper edges, from the choice
+/// `(orientation, start vertex, adjacent proper edge)`.
+fn build_ordering(
+    invariant: &TopologicalInvariant,
+    component: ComponentId,
+    orientation: Orientation,
+    start_vertex: usize,
+    start_edge: usize,
+) -> ComponentOrdering {
+    let comp = &invariant.components()[component];
+    let is_proper =
+        |e: usize| matches!(invariant.edge_endpoints(e), Some((a, b)) if a != b);
+
+    // Depth-first traversal over proper edges, visiting the proper edges
+    // around each vertex in rotation order starting from the vertex's
+    // associated edge.
+    let mut vertex_order: Vec<usize> = Vec::new();
+    let mut assoc: HashMap<usize, usize> = HashMap::new();
+    let mut visited: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    let mut stack: Vec<(usize, usize)> = vec![(start_vertex, start_edge)];
+    // The recursion of the paper inserts each sub-order right after its parent
+    // vertex; an explicit stack with children pushed in reverse visit order
+    // reproduces the same sequence.
+    while let Some((v, via_edge)) = stack.pop() {
+        if visited.contains(&v) {
+            continue;
+        }
+        visited.insert(v);
+        assoc.insert(v, via_edge);
+        vertex_order.push(v);
+        let slots = invariant.vertex_slots(v);
+        let degree = slots.len();
+        let start = slots
+            .iter()
+            .position(|&(e, _)| e == via_edge)
+            .expect("associated edge is incident to the vertex");
+        let mut neighbours: Vec<(usize, usize)> = Vec::new();
+        let mut seen_edges: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        for k in 0..degree {
+            let idx = rotated_index(start, k, degree, orientation);
+            let (e, end) = slots[idx];
+            if !is_proper(e) || !seen_edges.insert(e) {
+                continue;
+            }
+            let (a, b) = invariant.edge_endpoints(e).unwrap();
+            let other = if end == 0 { b } else { a };
+            if !visited.contains(&other) {
+                neighbours.push((other, e));
+            }
+        }
+        for item in neighbours.into_iter().rev() {
+            stack.push(item);
+        }
+    }
+    let vertex_rank: HashMap<usize, usize> =
+        vertex_order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+
+    // Edge order: lexicographic on endpoint ranks, ties broken by rotation
+    // position around the smaller-ranked endpoint starting from its
+    // associated edge.
+    let mut edges: Vec<usize> = comp.edges.clone();
+    let edge_key = |e: usize| -> (usize, usize, usize) {
+        let (a, b) = invariant.edge_endpoints(e).expect("component with proper edges has no closed curves");
+        let (ra, rb) = (vertex_rank[&a], vertex_rank[&b]);
+        let (lo, hi) = (ra.min(rb), ra.max(rb));
+        let anchor = if ra <= rb { a } else { b };
+        let slots = invariant.vertex_slots(anchor);
+        let degree = slots.len();
+        let anchor_assoc = assoc[&anchor];
+        let start = slots
+            .iter()
+            .position(|&(edge, _)| edge == anchor_assoc)
+            .expect("associated edge incident to anchor");
+        let mut position = degree;
+        for k in 0..degree {
+            let idx = rotated_index(start, k, degree, orientation);
+            if slots[idx].0 == e {
+                position = k;
+                break;
+            }
+        }
+        (lo, hi, position)
+    };
+    edges.sort_by_key(|&e| edge_key(e));
+    let edge_rank: HashMap<usize, usize> = edges.iter().enumerate().map(|(i, &e)| (e, i)).collect();
+
+    let mut order: Vec<CellRef> = vertex_order.iter().map(|&v| (CellKind::Vertex, v)).collect();
+    order.extend(edges.iter().map(|&e| (CellKind::Edge, e)));
+    order.extend(
+        ordered_owned_faces(invariant, component, &edge_rank)
+            .into_iter()
+            .map(|f| (CellKind::Face, f)),
+    );
+    ComponentOrdering {
+        orientation,
+        start_vertex: Some(start_vertex),
+        start_edge: Some(start_edge),
+        order,
+    }
+}
+
+/// Orders the faces owned by a component by the sorted list of ranks of their
+/// incident component edges (no two such faces share that list).
+fn ordered_owned_faces(
+    invariant: &TopologicalInvariant,
+    component: ComponentId,
+    edge_rank: &HashMap<usize, usize>,
+) -> Vec<usize> {
+    let mut faces = invariant.owned_faces(component);
+    let key = |f: usize| -> Vec<usize> {
+        let mut ranks: Vec<usize> = invariant
+            .face_edges(f)
+            .into_iter()
+            .filter_map(|e| edge_rank.get(&e).copied())
+            .collect();
+        ranks.sort_unstable();
+        ranks
+    };
+    faces.sort_by_key(|&f| key(f));
+    faces
+}
+
+/// The canonical code of an invariant.
+pub fn canonical_code(invariant: &TopologicalInvariant) -> CanonicalCode {
+    let ccw = global_code(invariant, Orientation::CounterClockwise);
+    let cw = global_code(invariant, Orientation::Clockwise);
+    let mut code = String::new();
+    code.push_str("inv{regions=");
+    for (_, name) in invariant.schema().iter() {
+        code.push_str(name);
+        code.push(',');
+    }
+    code.push('}');
+    code.push_str(if ccw <= cw { &ccw } else { &cw });
+    code
+}
+
+/// The whole-invariant serialisation under a globally fixed orientation.
+fn global_code(invariant: &TopologicalInvariant, orientation: Orientation) -> String {
+    // Bottom-up over the component tree: deeper components first.
+    let component_count = invariant.components().len();
+    let mut by_depth: Vec<ComponentId> = (0..component_count).collect();
+    by_depth.sort_by_key(|&c| std::cmp::Reverse(invariant.components()[c].depth));
+    let mut subtree_codes: Vec<Option<String>> = vec![None; component_count];
+    for c in by_depth {
+        subtree_codes[c] = Some(component_code(invariant, c, orientation, &subtree_codes));
+    }
+    let mut top_level: Vec<String> = invariant
+        .components_in_face(invariant.exterior_face())
+        .into_iter()
+        .map(|c| subtree_codes[c].clone().expect("subtree code computed"))
+        .collect();
+    top_level.sort();
+    format!("ext[{}]", top_level.join("|"))
+}
+
+/// The canonical code of the subtree rooted at a component: minimum over the
+/// parameter choices of the serialisation of the component, with children
+/// embedded recursively at their containing face.
+fn component_code(
+    invariant: &TopologicalInvariant,
+    component: ComponentId,
+    orientation: Orientation,
+    subtree_codes: &[Option<String>],
+) -> String {
+    let orderings = component_orderings(invariant, component, orientation);
+    orderings
+        .into_iter()
+        .map(|ordering| serialize_component(invariant, component, orientation, &ordering, subtree_codes))
+        .min()
+        .expect("every component has at least one ordering")
+}
+
+fn serialize_component(
+    invariant: &TopologicalInvariant,
+    component: ComponentId,
+    orientation: Orientation,
+    ordering: &ComponentOrdering,
+    subtree_codes: &[Option<String>],
+) -> String {
+    let parent_face = invariant.components()[component].parent_face;
+    let rank: HashMap<CellRef, usize> =
+        ordering.order.iter().enumerate().map(|(i, &cell)| (cell, i)).collect();
+    let face_token = |f: usize| -> String {
+        if f == parent_face {
+            "P".to_string()
+        } else if let Some(r) = rank.get(&(CellKind::Face, f)) {
+            format!("f{r}")
+        } else {
+            // A face bordered by this component but owned by neither it nor
+            // its parent cannot occur; defensively encode it opaquely.
+            format!("x{f}")
+        }
+    };
+    let regions = |set: &crate::complex::RegionSet| -> String {
+        let mut s = String::new();
+        for r in set.iter() {
+            s.push_str(&r.to_string());
+            s.push(',');
+        }
+        s
+    };
+    let mut out = String::new();
+    for &(kind, id) in &ordering.order {
+        match kind {
+            CellKind::Vertex => {
+                out.push_str("V<");
+                out.push_str(&regions(invariant.vertex_regions(id)));
+                out.push(';');
+                // The cone, read in the chosen orientation, rotated to the
+                // lexicographically least starting position.
+                let cone = invariant.cone(id);
+                let tokens: Vec<String> = cone
+                    .iter()
+                    .map(|item| match item {
+                        ConeItem::Edge(e) => format!("e{}", rank[&(CellKind::Edge, *e)]),
+                        ConeItem::Face(f) => face_token(*f),
+                    })
+                    .collect();
+                let n = tokens.len();
+                let mut best: Option<String> = None;
+                for start in 0..n.max(1) {
+                    let mut candidate = String::new();
+                    for k in 0..n {
+                        let idx = rotated_index(start, k, n, orientation);
+                        candidate.push_str(&tokens[idx]);
+                        candidate.push('.');
+                    }
+                    if best.as_ref().is_none_or(|b| candidate < *b) {
+                        best = Some(candidate);
+                    }
+                }
+                out.push_str(&best.unwrap_or_default());
+                out.push('>');
+            }
+            CellKind::Edge => {
+                out.push_str("E<");
+                out.push_str(&regions(invariant.edge_regions(id)));
+                out.push(';');
+                match invariant.edge_endpoints(id) {
+                    None => out.push_str("closed"),
+                    Some((a, b)) => {
+                        let (ra, rb) =
+                            (rank[&(CellKind::Vertex, a)], rank[&(CellKind::Vertex, b)]);
+                        let (lo, hi) = (ra.min(rb), ra.max(rb));
+                        out.push_str(&format!("v{lo}-v{hi}"));
+                    }
+                }
+                out.push(';');
+                let (fa, fb) = invariant.edge_faces(id);
+                let mut sides = [face_token(fa), face_token(fb)];
+                sides.sort();
+                out.push_str(&sides.join("/"));
+                out.push('>');
+            }
+            CellKind::Face => {
+                out.push_str("F<");
+                out.push_str(&regions(invariant.face_regions(id)));
+                out.push(';');
+                let mut edge_ranks: Vec<usize> = invariant
+                    .face_edges(id)
+                    .into_iter()
+                    .filter_map(|e| rank.get(&(CellKind::Edge, e)).copied())
+                    .collect();
+                edge_ranks.sort_unstable();
+                for r in edge_ranks {
+                    out.push_str(&format!("e{r},"));
+                }
+                out.push(';');
+                // Children embedded in this face, as a sorted multiset.
+                let mut children: Vec<String> = invariant
+                    .components_in_face(id)
+                    .into_iter()
+                    .map(|c| subtree_codes[c].clone().expect("child subtree code computed first"))
+                    .collect();
+                children.sort();
+                out.push('[');
+                out.push_str(&children.join("|"));
+                out.push(']');
+                out.push('>');
+            }
+        }
+    }
+    let _ = orientation;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::top;
+    use topo_geometry::Point;
+    use topo_spatial::transform::AffineMap;
+    use topo_spatial::{Region, Schema, SpatialInstance};
+
+    fn p(x: i64, y: i64) -> Point {
+        Point::from_ints(x, y)
+    }
+
+    fn square_instance() -> SpatialInstance {
+        let mut instance = SpatialInstance::new(Schema::from_names(["P"]));
+        instance.set_region(0, Region::rectangle(0, 0, 10, 10));
+        instance
+    }
+
+    #[test]
+    fn square_and_transformed_square_have_equal_codes() {
+        let instance = square_instance();
+        let code = top(&instance).canonical_code();
+        for map in [
+            AffineMap::translation(100, -50),
+            AffineMap::rotation90(),
+            AffineMap::reflection_x(),
+            AffineMap::scaling(topo_geometry::Rational::new(7, 3)),
+        ] {
+            let other = top(&map.apply_instance(&instance)).canonical_code();
+            assert_eq!(code, other);
+        }
+    }
+
+    #[test]
+    fn square_and_pentagon_are_topologically_equivalent() {
+        // Both reduce to: one closed curve, two faces — their invariants are
+        // isomorphic even though the raw geometry differs.
+        let square = top(&square_instance());
+        let mut pentagon_instance = SpatialInstance::new(Schema::from_names(["P"]));
+        pentagon_instance.set_region(
+            0,
+            Region::polygon(vec![p(0, 0), p(10, 0), p(14, 8), p(5, 14), p(-4, 8)]),
+        );
+        let pentagon = top(&pentagon_instance);
+        assert_eq!(square.canonical_code(), pentagon.canonical_code());
+        assert!(square.is_isomorphic_to(&pentagon));
+    }
+
+    #[test]
+    fn different_topologies_have_different_codes() {
+        let square = top(&square_instance());
+        // An annulus is not homeomorphic to a disk.
+        let mut annulus_region = Region::rectangle(0, 0, 30, 30);
+        annulus_region.add_ring(vec![p(10, 10), p(20, 10), p(20, 20), p(10, 20)]);
+        let mut annulus_instance = SpatialInstance::new(Schema::from_names(["P"]));
+        annulus_instance.set_region(0, annulus_region);
+        let annulus = top(&annulus_instance);
+        assert_ne!(square.canonical_code(), annulus.canonical_code());
+
+        // Two disjoint squares differ from one.
+        let mut two = Region::rectangle(0, 0, 10, 10);
+        two.add_ring(vec![p(20, 0), p(30, 0), p(30, 10), p(20, 10)]);
+        let mut two_instance = SpatialInstance::new(Schema::from_names(["P"]));
+        two_instance.set_region(0, two);
+        assert_ne!(square.canonical_code(), top(&two_instance).canonical_code());
+    }
+
+    #[test]
+    fn orderings_cover_all_cells_for_every_choice() {
+        // A figure with branching: a square with an antenna attached to one
+        // corner, so vertices survive the reduction.
+        let mut region = Region::rectangle(0, 0, 10, 10);
+        region.add_polyline(vec![p(10, 10), p(20, 20)]);
+        let mut instance = SpatialInstance::new(Schema::from_names(["P"]));
+        instance.set_region(0, region);
+        let invariant = top(&instance);
+        assert_eq!(invariant.components().len(), 1);
+        let orderings =
+            component_orderings(&invariant, 0, Orientation::CounterClockwise);
+        assert!(!orderings.is_empty());
+        let comp = &invariant.components()[0];
+        let expected_len =
+            comp.vertices.len() + comp.edges.len() + invariant.owned_faces(0).len();
+        for ordering in &orderings {
+            assert_eq!(ordering.order.len(), expected_len);
+            // Every cell appears exactly once.
+            let mut seen = std::collections::HashSet::new();
+            for cell in &ordering.order {
+                assert!(seen.insert(*cell));
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_agrees_with_relational_isomorphism() {
+        // Cross-validate the canonical code against the generic isomorphism
+        // test on the exported relational structures.
+        let a = top(&square_instance());
+        let mut shifted = SpatialInstance::new(Schema::from_names(["P"]));
+        shifted.set_region(0, Region::rectangle(500, 500, 900, 777));
+        let b = top(&shifted);
+        assert_eq!(a.canonical_code(), b.canonical_code());
+        assert!(topo_relational::isomorphic(&a.to_structure(), &b.to_structure()));
+
+        let mut annulus_region = Region::rectangle(0, 0, 30, 30);
+        annulus_region.add_ring(vec![p(10, 10), p(20, 10), p(20, 20), p(10, 20)]);
+        let mut annulus_instance = SpatialInstance::new(Schema::from_names(["P"]));
+        annulus_instance.set_region(0, annulus_region);
+        let c = top(&annulus_instance);
+        assert_ne!(a.canonical_code(), c.canonical_code());
+        assert!(!topo_relational::isomorphic(&a.to_structure(), &c.to_structure()));
+    }
+}

@@ -1,0 +1,342 @@
+//! From a spatial instance to the (unreduced) cell complex.
+//!
+//! This is the geometric half of Theorem 2.1: the instance is lowered to a
+//! planar arrangement (crate `topo-arrangement`), and every arrangement cell
+//! is classified against every region of the schema:
+//!
+//! * a **face** is inside a region's interior iff an even–odd propagation from
+//!   the exterior face, toggling whenever an edge covered an odd number of
+//!   times by the region's polygon rings is crossed, says so;
+//! * an **edge** is in a region iff it is on the boundary of the region's 2-D
+//!   part (odd ring coverage), or covered by one of the region's polylines, or
+//!   both incident faces are in the region's interior;
+//! * a **vertex** is in a region iff some incident cell is, or it is one of
+//!   the region's isolated points.
+//!
+//! The boundary flags distinguish cells lying on a region's topological
+//! boundary from cells in its interior; the reduction uses them and the final
+//! invariant derives everything else from the membership relation alone, as
+//! in the paper.
+
+use crate::complex::{Complex, RegionSet};
+use topo_arrangement::{build_arrangement, Arrangement};
+use topo_spatial::{SourceKind, SourceTag, SpatialInstance};
+
+/// Builds the unreduced cell complex of a spatial instance.
+pub fn build_complex(instance: &SpatialInstance) -> Complex {
+    let arrangement = build_arrangement(&instance.to_arrangement_input());
+    complex_from_arrangement(instance, &arrangement)
+}
+
+fn complex_from_arrangement(instance: &SpatialInstance, arrangement: &Arrangement) -> Complex {
+    let region_count = instance.schema().len();
+    let mut complex = Complex::new(region_count);
+
+    // Faces: keep arrangement face ids, with face 0 of the complex reused for
+    // the arrangement's exterior face (the complex is created with face 0).
+    // To keep the id mapping trivial we create one complex face per
+    // arrangement face and record which one is exterior.
+    let mut face_ids = Vec::with_capacity(arrangement.face_count());
+    for f in 0..arrangement.face_count() {
+        if f == 0 {
+            face_ids.push(0);
+        } else {
+            face_ids.push(complex.push_face(RegionSet::new(region_count)));
+        }
+    }
+    // `Complex::new` made face 0; ensure the exterior is whichever arrangement
+    // face is unbounded (the builder makes it face 0, but do not rely on it).
+    complex.set_exterior_face(face_ids[arrangement.exterior_face]);
+
+    // Per-edge coverage statistics per region.
+    let ring_parity = |edge: &topo_arrangement::ArrEdge, region: usize| -> bool {
+        edge.sources
+            .iter()
+            .filter(|&&s| {
+                let tag = SourceTag::decode(s);
+                tag.region == region && tag.kind == SourceKind::RingBoundary
+            })
+            .count()
+            % 2
+            == 1
+    };
+    let polyline_covered = |edge: &topo_arrangement::ArrEdge, region: usize| -> bool {
+        edge.sources.iter().any(|&s| {
+            let tag = SourceTag::decode(s);
+            tag.region == region && tag.kind == SourceKind::Polyline
+        })
+    };
+
+    // Face membership by breadth-first propagation from the exterior face.
+    let face_count = arrangement.face_count();
+    let mut face_in: Vec<RegionSet> = vec![RegionSet::new(region_count); face_count];
+    let mut visited = vec![false; face_count];
+    let mut adjacency: Vec<Vec<(usize, usize)>> = vec![Vec::new(); face_count]; // (neighbour, edge)
+    for (e, edge) in arrangement.edges.iter().enumerate() {
+        adjacency[edge.face_left].push((edge.face_right, e));
+        adjacency[edge.face_right].push((edge.face_left, e));
+    }
+    let mut queue = std::collections::VecDeque::new();
+    visited[arrangement.exterior_face] = true;
+    queue.push_back(arrangement.exterior_face);
+    while let Some(f) = queue.pop_front() {
+        let current = face_in[f].clone();
+        for &(g, e) in &adjacency[f] {
+            if visited[g] {
+                continue;
+            }
+            visited[g] = true;
+            let mut membership = current.clone();
+            for region in 0..region_count {
+                if ring_parity(&arrangement.edges[e], region) {
+                    if membership.contains(region) {
+                        membership.remove(region);
+                    } else {
+                        membership.insert(region);
+                    }
+                }
+            }
+            face_in[g] = membership;
+            queue.push_back(g);
+        }
+    }
+    // Transfer face memberships into the complex.
+    for f in 0..face_count {
+        let id = face_ids[f];
+        // Complex faces were created with empty membership; overwrite.
+        *complex_face_membership(&mut complex, id) = face_in[f].clone();
+    }
+
+    // Edge membership.
+    let mut edge_in: Vec<RegionSet> = Vec::with_capacity(arrangement.edge_count());
+    let mut edge_bnd: Vec<RegionSet> = Vec::with_capacity(arrangement.edge_count());
+    for edge in &arrangement.edges {
+        let mut in_set = RegionSet::new(region_count);
+        let mut bnd_set = RegionSet::new(region_count);
+        for region in 0..region_count {
+            let both_faces_in =
+                face_in[edge.face_left].contains(region) && face_in[edge.face_right].contains(region);
+            let in_region =
+                ring_parity(edge, region) || polyline_covered(edge, region) || both_faces_in;
+            if in_region {
+                in_set.insert(region);
+                if !both_faces_in {
+                    bnd_set.insert(region);
+                }
+            }
+        }
+        edge_in.push(in_set);
+        edge_bnd.push(bnd_set);
+    }
+
+    // Isolated input points per vertex.
+    let mut point_regions: Vec<RegionSet> = vec![RegionSet::new(region_count); arrangement.vertex_count()];
+    let input = instance.to_arrangement_input();
+    for (idx, (_, tag)) in input.points.iter().enumerate() {
+        let tag = SourceTag::decode(*tag);
+        point_regions[arrangement.point_vertices[idx]].insert(tag.region);
+    }
+
+    // Vertex membership.
+    let mut vertex_in: Vec<RegionSet> = Vec::with_capacity(arrangement.vertex_count());
+    let mut vertex_bnd: Vec<RegionSet> = Vec::with_capacity(arrangement.vertex_count());
+    for v in 0..arrangement.vertex_count() {
+        let mut in_set = point_regions[v].clone();
+        let incident = arrangement.incident_edges(v);
+        let isolated_face = arrangement.isolated_face(v);
+        // Sector faces around the vertex (or the containing face when isolated).
+        let sector_faces: Vec<usize> = if let Some(f) = isolated_face {
+            vec![f]
+        } else {
+            incident
+                .iter()
+                .map(|&e| {
+                    let edge = &arrangement.edges[e];
+                    if edge.v1 == v {
+                        edge.face_left
+                    } else {
+                        edge.face_right
+                    }
+                })
+                .collect()
+        };
+        for region in 0..region_count {
+            let edge_hit = incident.iter().any(|&e| edge_in[e].contains(region));
+            let face_hit = sector_faces.iter().any(|&f| face_in[f].contains(region));
+            if edge_hit || face_hit {
+                in_set.insert(region);
+            }
+        }
+        let mut bnd_set = RegionSet::new(region_count);
+        for region in in_set.iter() {
+            let all_faces_interior = sector_faces.iter().all(|&f| face_in[f].contains(region));
+            let all_edges_interior = incident
+                .iter()
+                .all(|&e| edge_in[e].contains(region) && !edge_bnd[e].contains(region));
+            if !(all_faces_interior && all_edges_interior) {
+                bnd_set.insert(region);
+            }
+        }
+        vertex_in.push(in_set);
+        vertex_bnd.push(bnd_set);
+    }
+
+    // Edges into the complex (ids align with arrangement edge ids because the
+    // complex has no edges yet).
+    for (e, edge) in arrangement.edges.iter().enumerate() {
+        let id = complex.push_edge(
+            Some((edge.v1, edge.v2)),
+            (face_ids[edge.face_left], face_ids[edge.face_right]),
+            edge_in[e].clone(),
+            edge_bnd[e].clone(),
+        );
+        debug_assert_eq!(id, e);
+    }
+
+    // Vertices into the complex (ids align with arrangement vertex ids).
+    for v in 0..arrangement.vertex_count() {
+        let slots: Vec<(usize, u8)> = arrangement
+            .incident_edges(v)
+            .iter()
+            .map(|&e| {
+                let edge = &arrangement.edges[e];
+                (e, if edge.v1 == v { 0u8 } else { 1u8 })
+            })
+            .collect();
+        let sectors: Vec<usize> = arrangement
+            .incident_edges(v)
+            .iter()
+            .map(|&e| {
+                let edge = &arrangement.edges[e];
+                // The sector counterclockwise-after an outgoing edge is the
+                // face to the left of the half-edge leaving `v` along it.
+                let f = if edge.v1 == v { edge.face_left } else { edge.face_right };
+                face_ids[f]
+            })
+            .collect();
+        let containing = arrangement.isolated_face(v).map(|f| face_ids[f]);
+        let id = complex.push_vertex(
+            slots,
+            sectors,
+            containing,
+            vertex_in[v].clone(),
+            vertex_bnd[v].clone(),
+        );
+        debug_assert_eq!(id, v);
+    }
+
+    complex
+}
+
+/// Mutable access to a face's membership set. Kept as a free function so the
+/// complex does not expose general mutation of memberships.
+fn complex_face_membership(complex: &mut Complex, face: usize) -> &mut RegionSet {
+    complex.face_membership_mut(face)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topo_geometry::Point;
+    use topo_spatial::{Region, Schema};
+
+    fn p(x: i64, y: i64) -> Point {
+        Point::from_ints(x, y)
+    }
+
+    #[test]
+    fn single_square_classification() {
+        let mut instance = SpatialInstance::new(Schema::from_names(["P"]));
+        instance.set_region(0, Region::rectangle(0, 0, 10, 10));
+        let complex = build_complex(&instance);
+        // Before reduction: 4 vertices, 4 edges, 2 faces.
+        assert_eq!(complex.live_vertices().len(), 4);
+        assert_eq!(complex.live_edges().len(), 4);
+        assert_eq!(complex.live_faces().len(), 2);
+        // The bounded face is in P, the exterior is not.
+        let exterior = complex.exterior_face();
+        for f in complex.live_faces() {
+            assert_eq!(complex.face_regions(f).contains(0), f != exterior);
+        }
+        // All edges and vertices are on P's boundary.
+        for e in complex.live_edges() {
+            assert!(complex.edge_regions(e).contains(0));
+            assert!(complex.edge_boundary_regions(e).contains(0));
+        }
+        for v in complex.live_vertices() {
+            assert!(complex.vertex_regions(v).contains(0));
+            assert!(complex.vertex_boundary_regions(v).contains(0));
+        }
+    }
+
+    #[test]
+    fn shared_internal_edge_is_interior() {
+        // Two adjacent squares of the same region: the shared edge is in the
+        // region's interior, not on its boundary.
+        let mut region = Region::rectangle(0, 0, 10, 10);
+        region.add_ring(vec![p(10, 0), p(20, 0), p(20, 10), p(10, 10)]);
+        let mut instance = SpatialInstance::new(Schema::from_names(["P"]));
+        instance.set_region(0, region);
+        let complex = build_complex(&instance);
+        // The shared edge x = 10 has both incident faces inside P.
+        let mut found_interior_edge = false;
+        for e in complex.live_edges() {
+            let (fa, fb) = complex.edge_sides(e);
+            if complex.face_regions(fa).contains(0) && complex.face_regions(fb).contains(0) {
+                assert!(complex.edge_regions(e).contains(0));
+                assert!(!complex.edge_boundary_regions(e).contains(0));
+                found_interior_edge = true;
+            }
+        }
+        assert!(found_interior_edge);
+    }
+
+    #[test]
+    fn polyline_and_point_classification() {
+        // A polyline crossing a square region, and an isolated point inside it.
+        let mut instance = SpatialInstance::new(Schema::from_names(["P", "L", "D"]));
+        instance.set_region(0, Region::rectangle(0, 0, 10, 10));
+        instance.set_region(1, Region::polyline(vec![p(-5, 5), p(15, 5)]));
+        instance.set_region(2, Region::point_set(vec![p(2, 2)]));
+        let complex = build_complex(&instance);
+        // Some edge is in both P (interior) and L.
+        let mut found = false;
+        for e in complex.live_edges() {
+            let regions = complex.edge_regions(e);
+            if regions.contains(0) && regions.contains(1) {
+                // Inside P's interior, so not on P's boundary; but it is on
+                // L's boundary (a 1-D piece is its own boundary).
+                assert!(!complex.edge_boundary_regions(e).contains(0));
+                assert!(complex.edge_boundary_regions(e).contains(1));
+                found = true;
+            }
+        }
+        assert!(found);
+        // The isolated point is a vertex in both P and D.
+        let mut point_found = false;
+        for v in complex.live_vertices() {
+            if complex.degree(v) == 0 {
+                let regions = complex.vertex_regions(v);
+                assert!(regions.contains(0) && regions.contains(2));
+                point_found = true;
+            }
+        }
+        assert!(point_found);
+    }
+
+    #[test]
+    fn hole_classification() {
+        // An annulus: the inner face is not in the region.
+        let mut region = Region::rectangle(0, 0, 30, 30);
+        region.add_ring(vec![p(10, 10), p(20, 10), p(20, 20), p(10, 20)]);
+        let mut instance = SpatialInstance::new(Schema::from_names(["P"]));
+        instance.set_region(0, region);
+        let complex = build_complex(&instance);
+        let in_p: Vec<bool> =
+            complex.live_faces().iter().map(|&f| complex.face_regions(f).contains(0)).collect();
+        // Exactly one of the three faces (the ring between the two squares)
+        // is in P.
+        assert_eq!(complex.live_faces().len(), 3);
+        assert_eq!(in_p.iter().filter(|b| **b).count(), 1);
+    }
+}

@@ -1,0 +1,681 @@
+//! The frozen topological invariant and its derived structure.
+
+use crate::canonical;
+use crate::complex::{Complex, RegionSet};
+use topo_relational::Structure;
+use topo_spatial::{RegionId, Schema};
+
+/// Kind of a cell of the invariant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// A 0-dimensional cell.
+    Vertex,
+    /// A 1-dimensional cell (possibly a loop or a closed curve).
+    Edge,
+    /// A 2-dimensional cell.
+    Face,
+}
+
+/// Identifier of a connected component of the invariant's skeleton.
+pub type ComponentId = usize;
+
+/// One item of the *cone* of a vertex: the cyclic, alternating sequence of
+/// incident edges and face sectors around the vertex, in counterclockwise
+/// order. This is exactly the information the paper's `Orientation` relation
+/// encodes, and the raw material of the cones/cycles normal form of Section 4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ConeItem {
+    /// An incident edge (a loop appears twice).
+    Edge(usize),
+    /// A face sector.
+    Face(usize),
+}
+
+/// A boundary component of a face.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BoundaryComponent {
+    /// A closed walk of directed edges `(edge, direction)`, where direction 0
+    /// walks from the edge's first endpoint to its second.
+    Walk(Vec<(usize, u8)>),
+    /// A vertex-free closed curve lying on the face's boundary.
+    ClosedCurve(usize),
+    /// An isolated vertex lying inside the face.
+    IsolatedVertex(usize),
+}
+
+/// A connected component of the invariant's skeleton (the graph whose nodes
+/// are the vertices and edges, connected by the Edge–Vertex relation).
+#[derive(Clone, Debug, Default)]
+pub struct Component {
+    /// Vertices of the component.
+    pub vertices: Vec<usize>,
+    /// Edges of the component.
+    pub edges: Vec<usize>,
+    /// The face of the invariant in which the component is embedded.
+    pub parent_face: usize,
+    /// Depth in the connected-component tree (children of the root have
+    /// depth 0).
+    pub depth: usize,
+}
+
+/// The topological invariant `top(I)` of a spatial instance: the maximal
+/// topological cell decomposition together with region membership and the
+/// cyclic orientation of cells around every vertex (Theorem 2.1).
+#[derive(Clone, Debug)]
+pub struct TopologicalInvariant {
+    schema: Schema,
+    // Vertices.
+    vertex_slots: Vec<Vec<(usize, u8)>>,
+    vertex_sectors: Vec<Vec<usize>>,
+    vertex_isolated_face: Vec<Option<usize>>,
+    vertex_regions: Vec<RegionSet>,
+    vertex_boundary: Vec<RegionSet>,
+    // Edges.
+    edge_ends: Vec<Option<(usize, usize)>>,
+    edge_sides: Vec<(usize, usize)>,
+    edge_regions: Vec<RegionSet>,
+    edge_boundary: Vec<RegionSet>,
+    // Faces.
+    face_regions: Vec<RegionSet>,
+    exterior_face: usize,
+    // Derived structure.
+    components: Vec<Component>,
+    component_of_vertex: Vec<ComponentId>,
+    component_of_edge: Vec<ComponentId>,
+    face_owner: Vec<Option<ComponentId>>,
+}
+
+impl TopologicalInvariant {
+    /// Freezes a (reduced or unreduced) complex into an invariant.
+    pub fn from_complex(complex: &Complex, schema: Schema) -> Self {
+        // Compact renumbering of live cells.
+        let live_vertices = complex.live_vertices();
+        let live_edges = complex.live_edges();
+        let live_faces = complex.live_faces();
+        let vmap: std::collections::HashMap<usize, usize> =
+            live_vertices.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let emap: std::collections::HashMap<usize, usize> =
+            live_edges.iter().enumerate().map(|(i, &e)| (e, i)).collect();
+        let fmap: std::collections::HashMap<usize, usize> =
+            live_faces.iter().enumerate().map(|(i, &f)| (f, i)).collect();
+
+        let vertex_slots: Vec<Vec<(usize, u8)>> = live_vertices
+            .iter()
+            .map(|&v| complex.slots(v).iter().map(|&(e, end)| (emap[&e], end)).collect())
+            .collect();
+        let vertex_sectors: Vec<Vec<usize>> = live_vertices
+            .iter()
+            .map(|&v| complex.sectors(v).iter().map(|f| fmap[f]).collect())
+            .collect();
+        let vertex_isolated_face: Vec<Option<usize>> = live_vertices
+            .iter()
+            .map(|&v| complex.isolated_face(v).map(|f| fmap[&f]))
+            .collect();
+        let vertex_regions: Vec<RegionSet> =
+            live_vertices.iter().map(|&v| complex.vertex_regions(v).clone()).collect();
+        let vertex_boundary: Vec<RegionSet> =
+            live_vertices.iter().map(|&v| complex.vertex_boundary_regions(v).clone()).collect();
+
+        let edge_ends: Vec<Option<(usize, usize)>> = live_edges
+            .iter()
+            .map(|&e| complex.edge_ends(e).map(|(a, b)| (vmap[&a], vmap[&b])))
+            .collect();
+        let edge_sides: Vec<(usize, usize)> = live_edges
+            .iter()
+            .map(|&e| {
+                let (a, b) = complex.edge_sides(e);
+                (fmap[&a], fmap[&b])
+            })
+            .collect();
+        let edge_regions: Vec<RegionSet> =
+            live_edges.iter().map(|&e| complex.edge_regions(e).clone()).collect();
+        let edge_boundary: Vec<RegionSet> =
+            live_edges.iter().map(|&e| complex.edge_boundary_regions(e).clone()).collect();
+
+        let face_regions: Vec<RegionSet> =
+            live_faces.iter().map(|&f| complex.face_regions(f).clone()).collect();
+        let exterior_face = fmap[&complex.exterior_face()];
+
+        let mut invariant = TopologicalInvariant {
+            schema,
+            vertex_slots,
+            vertex_sectors,
+            vertex_isolated_face,
+            vertex_regions,
+            vertex_boundary,
+            edge_ends,
+            edge_sides,
+            edge_regions,
+            edge_boundary,
+            face_regions,
+            exterior_face,
+            components: Vec::new(),
+            component_of_vertex: Vec::new(),
+            component_of_edge: Vec::new(),
+            face_owner: Vec::new(),
+        };
+        invariant.compute_components();
+        invariant.compute_component_tree();
+        invariant
+    }
+
+    // ----- basic accessors --------------------------------------------------
+
+    /// The schema the invariant was built over.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertex_slots.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_ends.len()
+    }
+
+    /// Number of faces (including the exterior face).
+    pub fn face_count(&self) -> usize {
+        self.face_regions.len()
+    }
+
+    /// Total number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.vertex_count() + self.edge_count() + self.face_count()
+    }
+
+    /// Index of the exterior face.
+    pub fn exterior_face(&self) -> usize {
+        self.exterior_face
+    }
+
+    /// Endpoints of an edge (`None` for closed curves, equal endpoints for
+    /// loops).
+    pub fn edge_endpoints(&self, e: usize) -> Option<(usize, usize)> {
+        self.edge_ends[e]
+    }
+
+    /// The two faces beside an edge.
+    pub fn edge_faces(&self, e: usize) -> (usize, usize) {
+        self.edge_sides[e]
+    }
+
+    /// Degree of a vertex (edge-ends; loops count twice).
+    pub fn degree(&self, v: usize) -> usize {
+        self.vertex_slots[v].len()
+    }
+
+    /// Edge-end slots around a vertex in counterclockwise order.
+    pub fn vertex_slots(&self, v: usize) -> &[(usize, u8)] {
+        &self.vertex_slots[v]
+    }
+
+    /// Face sectors around a vertex (sector `i` follows slot `i`
+    /// counterclockwise).
+    pub fn vertex_sector_faces(&self, v: usize) -> &[usize] {
+        &self.vertex_sectors[v]
+    }
+
+    /// The face containing an isolated vertex.
+    pub fn isolated_vertex_face(&self, v: usize) -> Option<usize> {
+        if self.vertex_slots[v].is_empty() {
+            self.vertex_isolated_face[v]
+        } else {
+            None
+        }
+    }
+
+    /// Regions containing a vertex.
+    pub fn vertex_regions(&self, v: usize) -> &RegionSet {
+        &self.vertex_regions[v]
+    }
+
+    /// Regions on whose boundary a vertex lies.
+    pub fn vertex_boundary_regions(&self, v: usize) -> &RegionSet {
+        &self.vertex_boundary[v]
+    }
+
+    /// Regions containing an edge.
+    pub fn edge_regions(&self, e: usize) -> &RegionSet {
+        &self.edge_regions[e]
+    }
+
+    /// Regions on whose boundary an edge lies.
+    pub fn edge_boundary_regions(&self, e: usize) -> &RegionSet {
+        &self.edge_boundary[e]
+    }
+
+    /// Regions whose interior contains a face.
+    pub fn face_regions(&self, f: usize) -> &RegionSet {
+        &self.face_regions[f]
+    }
+
+    /// True iff the cell of the given kind is contained in the region, which
+    /// is the paper's per-region unary relation on cells.
+    pub fn cell_in_region(&self, kind: CellKind, id: usize, region: RegionId) -> bool {
+        match kind {
+            CellKind::Vertex => self.vertex_regions[id].contains(region),
+            CellKind::Edge => self.edge_regions[id].contains(region),
+            CellKind::Face => self.face_regions[id].contains(region),
+        }
+    }
+
+    /// The cone of a vertex: the cyclic alternating sequence of incident edges
+    /// and face sectors in counterclockwise order. For an isolated vertex this
+    /// is just its containing face.
+    pub fn cone(&self, v: usize) -> Vec<ConeItem> {
+        if self.vertex_slots[v].is_empty() {
+            return vec![ConeItem::Face(
+                self.vertex_isolated_face[v].expect("isolated vertex has a containing face"),
+            )];
+        }
+        let mut out = Vec::with_capacity(self.vertex_slots[v].len() * 2);
+        for (i, &(e, _)) in self.vertex_slots[v].iter().enumerate() {
+            out.push(ConeItem::Edge(e));
+            out.push(ConeItem::Face(self.vertex_sectors[v][i]));
+        }
+        out
+    }
+
+    /// All edges on the topological boundary of a face (the paper's
+    /// `Face-Edge` relation), including edges of components nested inside the
+    /// face.
+    pub fn face_edges(&self, face: usize) -> Vec<usize> {
+        (0..self.edge_count())
+            .filter(|&e| self.edge_sides[e].0 == face || self.edge_sides[e].1 == face)
+            .collect()
+    }
+
+    /// All vertices on the topological boundary of a face (the paper's
+    /// `Face-Vertex` relation), including isolated vertices inside it.
+    pub fn face_vertices(&self, face: usize) -> Vec<usize> {
+        (0..self.vertex_count())
+            .filter(|&v| {
+                self.vertex_sectors[v].contains(&face)
+                    || (self.vertex_slots[v].is_empty() && self.vertex_isolated_face[v] == Some(face))
+            })
+            .collect()
+    }
+
+    // ----- components and the component tree --------------------------------
+
+    fn compute_components(&mut self) {
+        let nv = self.vertex_count();
+        let ne = self.edge_count();
+        let mut parent: Vec<usize> = (0..nv + ne).collect();
+        fn find(parent: &mut [usize], x: usize) -> usize {
+            let mut root = x;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            let mut cur = x;
+            while parent[cur] != root {
+                let next = parent[cur];
+                parent[cur] = root;
+                cur = next;
+            }
+            root
+        }
+        for e in 0..ne {
+            if let Some((a, b)) = self.edge_ends[e] {
+                for v in [a, b] {
+                    let (x, y) = (find(&mut parent, v), find(&mut parent, nv + e));
+                    if x != y {
+                        parent[x] = y;
+                    }
+                }
+            }
+        }
+        let mut component_ids: std::collections::HashMap<usize, ComponentId> =
+            std::collections::HashMap::new();
+        let mut components: Vec<Component> = Vec::new();
+        let mut component_of_vertex = vec![0; nv];
+        let mut component_of_edge = vec![0; ne];
+        for v in 0..nv {
+            let root = find(&mut parent, v);
+            let id = *component_ids.entry(root).or_insert_with(|| {
+                components.push(Component::default());
+                components.len() - 1
+            });
+            components[id].vertices.push(v);
+            component_of_vertex[v] = id;
+        }
+        for e in 0..ne {
+            let root = find(&mut parent, nv + e);
+            let id = *component_ids.entry(root).or_insert_with(|| {
+                components.push(Component::default());
+                components.len() - 1
+            });
+            components[id].edges.push(e);
+            component_of_edge[e] = id;
+        }
+        self.components = components;
+        self.component_of_vertex = component_of_vertex;
+        self.component_of_edge = component_of_edge;
+    }
+
+    /// Builds the connected-component tree of the paper (Fig. 2): a
+    /// level-order traversal from the exterior face assigns to every face the
+    /// unique closest component owning it and to every component the face it
+    /// is embedded in.
+    fn compute_component_tree(&mut self) {
+        let face_count = self.face_count();
+        // Adjacency between faces and components.
+        let mut face_components: Vec<std::collections::HashSet<ComponentId>> =
+            vec![std::collections::HashSet::new(); face_count];
+        for e in 0..self.edge_count() {
+            let c = self.component_of_edge[e];
+            let (a, b) = self.edge_sides[e];
+            face_components[a].insert(c);
+            face_components[b].insert(c);
+        }
+        for v in 0..self.vertex_count() {
+            let c = self.component_of_vertex[v];
+            for &f in &self.vertex_sectors[v] {
+                face_components[f].insert(c);
+            }
+            if self.vertex_slots[v].is_empty() {
+                if let Some(f) = self.vertex_isolated_face[v] {
+                    face_components[f].insert(c);
+                }
+            }
+        }
+        let mut face_owner: Vec<Option<ComponentId>> = vec![None; face_count];
+        let mut component_assigned = vec![false; self.components.len()];
+        let mut queue: std::collections::VecDeque<(ComponentId, usize, usize)> =
+            std::collections::VecDeque::new();
+        // The exterior face is owned by nobody; its adjacent components are the
+        // roots of the forest (depth 0, parent = exterior face).
+        for &c in &face_components[self.exterior_face] {
+            if !component_assigned[c] {
+                component_assigned[c] = true;
+                queue.push_back((c, self.exterior_face, 0));
+            }
+        }
+        while let Some((c, parent_face, depth)) = queue.pop_front() {
+            self.components[c].parent_face = parent_face;
+            self.components[c].depth = depth;
+            // Faces adjacent to this component that are not yet owned belong
+            // to it.
+            let adjacent_faces: Vec<usize> = (0..face_count)
+                .filter(|&f| f != self.exterior_face && face_components[f].contains(&c))
+                .collect();
+            for f in adjacent_faces {
+                if face_owner[f].is_some() {
+                    continue;
+                }
+                face_owner[f] = Some(c);
+                for &child in &face_components[f] {
+                    if !component_assigned[child] {
+                        component_assigned[child] = true;
+                        queue.push_back((child, f, depth + 1));
+                    }
+                }
+            }
+        }
+        self.face_owner = face_owner;
+    }
+
+    /// The connected components of the skeleton.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// The component a vertex belongs to.
+    pub fn component_of_vertex(&self, v: usize) -> ComponentId {
+        self.component_of_vertex[v]
+    }
+
+    /// The component an edge belongs to.
+    pub fn component_of_edge(&self, e: usize) -> ComponentId {
+        self.component_of_edge[e]
+    }
+
+    /// The component owning a face (the unique component closest to the
+    /// exterior among those on the face's boundary), or `None` for the
+    /// exterior face.
+    pub fn face_owner(&self, face: usize) -> Option<ComponentId> {
+        self.face_owner[face]
+    }
+
+    /// The faces owned by a component, sorted.
+    pub fn owned_faces(&self, component: ComponentId) -> Vec<usize> {
+        (0..self.face_count()).filter(|&f| self.face_owner[f] == Some(component)).collect()
+    }
+
+    /// The components directly embedded in a face (the children of the face in
+    /// the component tree).
+    pub fn components_in_face(&self, face: usize) -> Vec<ComponentId> {
+        (0..self.components.len()).filter(|&c| self.components[c].parent_face == face).collect()
+    }
+
+    // ----- boundary walks ----------------------------------------------------
+
+    /// The boundary components of a face: closed walks of directed edges,
+    /// vertex-free closed curves, and isolated vertices.
+    pub fn boundary_components(&self, face: usize) -> Vec<BoundaryComponent> {
+        let mut out = Vec::new();
+        // Closed curves.
+        for e in 0..self.edge_count() {
+            if self.edge_ends[e].is_none() && (self.edge_sides[e].0 == face || self.edge_sides[e].1 == face) {
+                // A closed curve with the face on both sides appears twice.
+                let occurrences =
+                    (self.edge_sides[e].0 == face) as usize + (self.edge_sides[e].1 == face) as usize;
+                for _ in 0..occurrences {
+                    out.push(BoundaryComponent::ClosedCurve(e));
+                }
+            }
+        }
+        // Isolated vertices.
+        for v in 0..self.vertex_count() {
+            if self.vertex_slots[v].is_empty() && self.vertex_isolated_face[v] == Some(face) {
+                out.push(BoundaryComponent::IsolatedVertex(v));
+            }
+        }
+        // Walks: trace every directed edge with `face` on its left exactly once.
+        let mut visited: std::collections::HashSet<(usize, u8)> = std::collections::HashSet::new();
+        for e in 0..self.edge_count() {
+            if self.edge_ends[e].is_none() {
+                continue;
+            }
+            for direction in [0u8, 1u8] {
+                if visited.contains(&(e, direction)) || self.half_edge_left_face(e, direction) != face {
+                    continue;
+                }
+                let mut walk = Vec::new();
+                let mut current = (e, direction);
+                loop {
+                    visited.insert(current);
+                    walk.push(current);
+                    current = self.next_half_edge(current.0, current.1);
+                    if current == (e, direction) {
+                        break;
+                    }
+                }
+                out.push(BoundaryComponent::Walk(walk));
+            }
+        }
+        out
+    }
+
+    /// The face to the left of the directed edge `(e, direction)` (direction 0
+    /// walks from the first endpoint to the second).
+    pub fn half_edge_left_face(&self, e: usize, direction: u8) -> usize {
+        let head_end = if direction == 0 { 1u8 } else { 0u8 };
+        let (a, b) = self.edge_ends[e].expect("half-edge of an edge with endpoints");
+        let head_vertex = if head_end == 0 { a } else { b };
+        let slots = &self.vertex_slots[head_vertex];
+        let pos = slots
+            .iter()
+            .position(|&slot| slot == (e, head_end))
+            .expect("edge end present in head vertex rotation");
+        let degree = slots.len();
+        // The face on the left of the arriving half-edge is the sector
+        // immediately counterclockwise-before the arrival slot.
+        self.vertex_sectors[head_vertex][(pos + degree - 1) % degree]
+    }
+
+    /// The half-edge following `(e, direction)` along the boundary of the face
+    /// on its left.
+    pub fn next_half_edge(&self, e: usize, direction: u8) -> (usize, u8) {
+        let head_end = if direction == 0 { 1u8 } else { 0u8 };
+        let (a, b) = self.edge_ends[e].expect("half-edge of an edge with endpoints");
+        let head_vertex = if head_end == 0 { a } else { b };
+        let slots = &self.vertex_slots[head_vertex];
+        let pos = slots
+            .iter()
+            .position(|&slot| slot == (e, head_end))
+            .expect("edge end present in head vertex rotation");
+        let degree = slots.len();
+        let (next_edge, next_end) = slots[(pos + degree - 1) % degree];
+        // Departing via that slot: the slot is the tail end of the next
+        // half-edge.
+        let next_direction = if next_end == 0 { 0u8 } else { 1u8 };
+        (next_edge, next_direction)
+    }
+
+    // ----- canonical form and relational export ------------------------------
+
+    /// The canonical code of the invariant: equal codes iff the invariants are
+    /// isomorphic (Theorems 3.2 / 3.4 made algorithmic; see the `canonical`
+    /// module).
+    pub fn canonical_code(&self) -> canonical::CanonicalCode {
+        canonical::canonical_code(self)
+    }
+
+    /// True iff two invariants are isomorphic, i.e. the underlying spatial
+    /// instances are topologically equivalent (Theorem 2.1(ii)).
+    pub fn is_isomorphic_to(&self, other: &TopologicalInvariant) -> bool {
+        self.canonical_code() == other.canonical_code()
+    }
+
+    /// Exports the invariant as a relational structure over the schema
+    /// `inv(Reg)` of the paper: unary `Vertex`, `Edge`, `Face`,
+    /// `ExteriorFace`, binary `EdgeVertex`, `FaceEdge`, `FaceVertex`, one
+    /// unary relation `Region_<name>` per region name, and the 5-ary
+    /// `Orientation` relation over the cyclic order of cells around each
+    /// vertex. Domain element 0 is the counterclockwise orientation constant,
+    /// element 1 the clockwise one.
+    pub fn to_structure(&self) -> Structure {
+        self.export(true)
+    }
+
+    /// Exports the invariant with only the *successor* version of the
+    /// orientation relation (4-ary `OrientationSucc`), as in [PSV99]. Used by
+    /// the Figure 9 experiment showing that the full cyclic order is needed
+    /// for the first-order translation.
+    pub fn to_structure_successor_only(&self) -> Structure {
+        self.export(false)
+    }
+
+    fn export(&self, full_cyclic: bool) -> Structure {
+        let nv = self.vertex_count();
+        let ne = self.edge_count();
+        let nf = self.face_count();
+        let vert = |v: usize| -> u32 { (2 + v) as u32 };
+        let edge = |e: usize| -> u32 { (2 + nv + e) as u32 };
+        let face = |f: usize| -> u32 { (2 + nv + ne + f) as u32 };
+        let mut s = Structure::new(2 + nv + ne + nf);
+        s.add_relation("OrientationConstant", 1);
+        s.insert("OrientationConstant", &[0]);
+        s.insert("OrientationConstant", &[1]);
+        s.add_relation("Vertex", 1);
+        s.add_relation("Edge", 1);
+        s.add_relation("Face", 1);
+        s.add_relation("ExteriorFace", 1);
+        s.add_relation("EdgeVertex", 2);
+        s.add_relation("FaceEdge", 2);
+        s.add_relation("FaceVertex", 2);
+        for (_, name) in self.schema.iter() {
+            s.add_relation(&format!("Region_{name}"), 1);
+        }
+        for v in 0..nv {
+            s.insert("Vertex", &[vert(v)]);
+        }
+        for e in 0..ne {
+            s.insert("Edge", &[edge(e)]);
+            if let Some((a, b)) = self.edge_ends[e] {
+                s.insert("EdgeVertex", &[edge(e), vert(a)]);
+                s.insert("EdgeVertex", &[edge(e), vert(b)]);
+            }
+        }
+        for f in 0..nf {
+            s.insert("Face", &[face(f)]);
+            for e in self.face_edges(f) {
+                s.insert("FaceEdge", &[face(f), edge(e)]);
+            }
+            for v in self.face_vertices(f) {
+                s.insert("FaceVertex", &[face(f), vert(v)]);
+            }
+        }
+        s.insert("ExteriorFace", &[face(self.exterior_face)]);
+        for (region, name) in self.schema.iter() {
+            let relation = format!("Region_{name}");
+            for v in 0..nv {
+                if self.vertex_regions[v].contains(region) {
+                    s.insert(&relation, &[vert(v)]);
+                }
+            }
+            for e in 0..ne {
+                if self.edge_regions[e].contains(region) {
+                    s.insert(&relation, &[edge(e)]);
+                }
+            }
+            for f in 0..nf {
+                if self.face_regions[f].contains(region) {
+                    s.insert(&relation, &[face(f)]);
+                }
+            }
+        }
+        // Orientation: the cyclic order of cells around each vertex, for both
+        // orientations (element 0 = counterclockwise, element 1 = clockwise).
+        let cell_id = |item: &ConeItem| -> u32 {
+            match item {
+                ConeItem::Edge(e) => edge(*e),
+                ConeItem::Face(f) => face(*f),
+            }
+        };
+        if full_cyclic {
+            s.add_relation("Orientation", 5);
+        } else {
+            s.add_relation("OrientationSucc", 4);
+        }
+        for v in 0..nv {
+            let cone = self.cone(v);
+            let n = cone.len();
+            if n == 0 {
+                continue;
+            }
+            for (orientation, dir) in [(0u32, 1isize), (1u32, -1isize)] {
+                let at = |start: usize, offset: usize| -> usize {
+                    ((start as isize + dir * offset as isize).rem_euclid(n as isize)) as usize
+                };
+                if full_cyclic {
+                    // (w, v, c1, c2, c3): c2 strictly between c1 and c3 going in
+                    // the w direction from c1.
+                    for i in 0..n {
+                        for j_off in 1..n {
+                            for k_off in (j_off + 1)..n {
+                                let c1 = cell_id(&cone[i]);
+                                let c2 = cell_id(&cone[at(i, j_off)]);
+                                let c3 = cell_id(&cone[at(i, k_off)]);
+                                if c1 != c2 && c2 != c3 && c1 != c3 {
+                                    s.insert("Orientation", &[orientation, vert(v), c1, c2, c3]);
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    for i in 0..n {
+                        let c1 = cell_id(&cone[i]);
+                        let c2 = cell_id(&cone[at(i, 1)]);
+                        s.insert("OrientationSucc", &[orientation, vert(v), c1, c2]);
+                    }
+                }
+            }
+        }
+        s
+    }
+}

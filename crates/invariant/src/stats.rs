@@ -1,0 +1,109 @@
+//! Size statistics of invariants, matching the measurements of the paper's
+//! practical-considerations section (cell counts, storage estimate, and the
+//! number of lines meeting at a point).
+
+use crate::invariant::TopologicalInvariant;
+
+/// Summary statistics of a topological invariant.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InvariantStats {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Number of faces (including the exterior).
+    pub faces: usize,
+    /// Total number of cells.
+    pub cells: usize,
+    /// Estimated storage footprint in bytes (see [`InvariantStats::compute`]).
+    pub bytes: usize,
+    /// Average vertex degree (the paper's "lines intersecting at a point").
+    pub average_degree: f64,
+    /// Maximum vertex degree.
+    pub max_degree: usize,
+}
+
+impl InvariantStats {
+    /// Computes the statistics of an invariant.
+    ///
+    /// The storage estimate follows the paper's convention of a small constant
+    /// number of bytes per cell: each cell is charged the bytes of its
+    /// incidence references (cell ids sized to the invariant, i.e.
+    /// `ceil(log2(cells) / 8)` bytes each) plus one byte of region-membership
+    /// bitmap per eight regions.
+    pub fn compute(invariant: &TopologicalInvariant) -> Self {
+        let vertices = invariant.vertex_count();
+        let edges = invariant.edge_count();
+        let faces = invariant.face_count();
+        let cells = vertices + edges + faces;
+        let id_bytes = ((usize::BITS - cells.max(2).leading_zeros()) as usize).div_ceil(8);
+        let region_bytes = invariant.schema().len().div_ceil(8).max(1);
+        let mut bytes = 0usize;
+        let mut degree_sum = 0usize;
+        let mut max_degree = 0usize;
+        for v in 0..vertices {
+            let degree = invariant.degree(v);
+            degree_sum += degree;
+            max_degree = max_degree.max(degree);
+            // Rotation references (edges and sectors) plus membership bits.
+            bytes += 2 * degree * id_bytes + region_bytes;
+            if degree == 0 {
+                bytes += id_bytes; // containing face
+            }
+        }
+        for e in 0..edges {
+            let endpoint_refs = if invariant.edge_endpoints(e).is_some() { 2 } else { 0 };
+            bytes += (endpoint_refs + 2) * id_bytes + region_bytes;
+        }
+        for _ in 0..faces {
+            bytes += region_bytes;
+        }
+        InvariantStats {
+            vertices,
+            edges,
+            faces,
+            cells,
+            bytes,
+            average_degree: if vertices == 0 { 0.0 } else { degree_sum as f64 / vertices as f64 },
+            max_degree,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::top;
+    use topo_spatial::{Region, Schema, SpatialInstance};
+
+    #[test]
+    fn square_stats() {
+        let mut instance = SpatialInstance::new(Schema::from_names(["P"]));
+        instance.set_region(0, Region::rectangle(0, 0, 10, 10));
+        let stats = InvariantStats::compute(&top(&instance));
+        assert_eq!(stats.vertices, 0);
+        assert_eq!(stats.edges, 1);
+        assert_eq!(stats.faces, 2);
+        assert_eq!(stats.cells, 3);
+        assert!(stats.bytes > 0);
+        assert_eq!(stats.max_degree, 0);
+    }
+
+    #[test]
+    fn crossing_lines_degree() {
+        // Two crossing polylines: the crossing vertex has degree 4.
+        let mut instance = SpatialInstance::new(Schema::from_names(["L"]));
+        let mut region = Region::polyline(vec![
+            topo_geometry::Point::from_ints(0, 0),
+            topo_geometry::Point::from_ints(10, 10),
+        ]);
+        region.add_polyline(vec![
+            topo_geometry::Point::from_ints(0, 10),
+            topo_geometry::Point::from_ints(10, 0),
+        ]);
+        instance.set_region(0, region);
+        let stats = InvariantStats::compute(&top(&instance));
+        assert_eq!(stats.max_degree, 4);
+        assert_eq!(stats.vertices, 5);
+    }
+}

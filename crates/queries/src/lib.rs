@@ -1,0 +1,25 @@
+//! A library of topological queries, evaluable on both sides of the paper's
+//! translation:
+//!
+//! * **directly on the spatial data** (strategy (i) of the
+//!   practical-considerations section) — geometric algorithms and, for the
+//!   first-order queries, `FO(P, <x, <y)` sentences evaluated by the
+//!   sample-point evaluator of `topo-spatial`;
+//! * **on the topological invariant** (strategies (ii)/(iii)) — combinatorial
+//!   algorithms on [`TopologicalInvariant`] and, for a representative subset,
+//!   genuine Datalog¬ / fixpoint(+counting) programs executed by
+//!   `topo-relational` on the exported relational structure.
+//!
+//! The test suites check that every evaluation route gives the same answer on
+//! the same instance — which is exactly the content of the paper's claim that
+//! topological queries can be answered on the invariant alone.
+
+pub mod invariant_side;
+pub mod library;
+pub mod programs;
+pub mod spatial_side;
+
+pub use invariant_side::{component_count, euler_characteristic, evaluate_on_invariant};
+pub use library::TopologicalQuery;
+pub use programs::datalog_program;
+pub use spatial_side::{evaluate_direct, point_formula};

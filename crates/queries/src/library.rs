@@ -1,0 +1,106 @@
+//! The query library: Boolean topological properties of spatial instances.
+
+use topo_spatial::RegionId;
+
+/// A Boolean topological query over the regions of a schema.
+///
+/// Every variant is invariant under plane homeomorphisms, so by Theorem 2.1
+/// it can be answered on the topological invariant alone; the first five are
+/// first-order (they appear, in one form or another, in the paper's examples),
+/// the remaining ones need recursion (fixpoint) or counting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopologicalQuery {
+    /// The two regions share at least one point.
+    Intersects(RegionId, RegionId),
+    /// The two regions share no point.
+    Disjoint(RegionId, RegionId),
+    /// The second region is contained in the first.
+    Contains(RegionId, RegionId),
+    /// The two regions are equal as point sets.
+    Equal(RegionId, RegionId),
+    /// The regions intersect only on their boundaries (the paper's running
+    /// example `(-)` in Section 4).
+    BoundaryOnlyIntersection(RegionId, RegionId),
+    /// The interiors of the two regions share a point.
+    InteriorsOverlap(RegionId, RegionId),
+    /// The region is a connected point set.
+    IsConnected(RegionId),
+    /// The region has an even number of connected components (requires
+    /// counting on top of fixpoint — the paper's separating example).
+    ComponentCountEven(RegionId),
+    /// The complement of the region has a bounded connected component ("the
+    /// region has a hole").
+    HasHole(RegionId),
+}
+
+impl TopologicalQuery {
+    /// The regions mentioned by the query.
+    pub fn regions(&self) -> Vec<RegionId> {
+        match *self {
+            TopologicalQuery::Intersects(a, b)
+            | TopologicalQuery::Disjoint(a, b)
+            | TopologicalQuery::Contains(a, b)
+            | TopologicalQuery::Equal(a, b)
+            | TopologicalQuery::BoundaryOnlyIntersection(a, b)
+            | TopologicalQuery::InteriorsOverlap(a, b) => vec![a, b],
+            TopologicalQuery::IsConnected(a)
+            | TopologicalQuery::ComponentCountEven(a)
+            | TopologicalQuery::HasHole(a) => vec![a],
+        }
+    }
+
+    /// True iff the query is expressible in first-order logic over the
+    /// invariant (the others need fixpoint or fixpoint+counting).
+    pub fn is_first_order(&self) -> bool {
+        !matches!(
+            self,
+            TopologicalQuery::IsConnected(_)
+                | TopologicalQuery::ComponentCountEven(_)
+                | TopologicalQuery::HasHole(_)
+        )
+    }
+
+    /// A human-readable description.
+    pub fn describe(&self, schema: &topo_spatial::Schema) -> String {
+        let name = |r: RegionId| schema.name(r).to_string();
+        match *self {
+            TopologicalQuery::Intersects(a, b) => format!("{} intersects {}", name(a), name(b)),
+            TopologicalQuery::Disjoint(a, b) => format!("{} is disjoint from {}", name(a), name(b)),
+            TopologicalQuery::Contains(a, b) => format!("{} contains {}", name(a), name(b)),
+            TopologicalQuery::Equal(a, b) => format!("{} equals {}", name(a), name(b)),
+            TopologicalQuery::BoundaryOnlyIntersection(a, b) => {
+                format!("{} and {} intersect only on their boundaries", name(a), name(b))
+            }
+            TopologicalQuery::InteriorsOverlap(a, b) => {
+                format!("the interiors of {} and {} overlap", name(a), name(b))
+            }
+            TopologicalQuery::IsConnected(a) => format!("{} is connected", name(a)),
+            TopologicalQuery::ComponentCountEven(a) => {
+                format!("{} has an even number of connected components", name(a))
+            }
+            TopologicalQuery::HasHole(a) => format!("{} has a hole", name(a)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topo_spatial::Schema;
+
+    #[test]
+    fn regions_and_classification() {
+        let q = TopologicalQuery::BoundaryOnlyIntersection(0, 1);
+        assert_eq!(q.regions(), vec![0, 1]);
+        assert!(q.is_first_order());
+        assert!(!TopologicalQuery::IsConnected(0).is_first_order());
+        assert!(!TopologicalQuery::ComponentCountEven(0).is_first_order());
+    }
+
+    #[test]
+    fn descriptions_use_names() {
+        let schema = Schema::from_names(["forest", "lake"]);
+        let text = TopologicalQuery::Contains(0, 1).describe(&schema);
+        assert_eq!(text, "forest contains lake");
+    }
+}

@@ -1,0 +1,119 @@
+//! Direct evaluation of the query library on the raw spatial data
+//! (strategy (i)).
+//!
+//! First-order queries are evaluated as `FO(P, <x, <y)` sentences through the
+//! sample-point evaluator of `topo-spatial`; the recursive queries
+//! (connectivity, parity, holes) are computed on the *unreduced* arrangement
+//! of the instance — i.e. on a structure whose size is that of the raw data,
+//! never on the compact invariant. This keeps the strategy comparison of the
+//! experiments honest: the direct route pays for the full data size on every
+//! query, which is exactly the cost the paper's invariant-based strategies
+//! avoid.
+
+use crate::invariant_side::evaluate_on_invariant;
+use crate::library::TopologicalQuery;
+use topo_spatial::{DirectEvaluator, PointFormula, SpatialInstance};
+
+/// The `FO(P, <x, <y)` sentence expressing a first-order query of the
+/// library, when the query is first-order expressible in the point language
+/// without interior quantification.
+pub fn point_formula(query: &TopologicalQuery) -> Option<PointFormula> {
+    let in_region = |region, var| PointFormula::InRegion { region, var };
+    match *query {
+        TopologicalQuery::Intersects(a, b) => Some(PointFormula::Exists(
+            0,
+            Box::new(PointFormula::And(vec![in_region(a, 0), in_region(b, 0)])),
+        )),
+        TopologicalQuery::Disjoint(a, b) => Some(PointFormula::Not(Box::new(
+            PointFormula::Exists(
+                0,
+                Box::new(PointFormula::And(vec![in_region(a, 0), in_region(b, 0)])),
+            ),
+        ))),
+        TopologicalQuery::Contains(a, b) => Some(PointFormula::Forall(
+            0,
+            Box::new(in_region(b, 0).implies(in_region(a, 0))),
+        )),
+        TopologicalQuery::Equal(a, b) => Some(PointFormula::And(vec![
+            PointFormula::Forall(0, Box::new(in_region(b, 0).implies(in_region(a, 0)))),
+            PointFormula::Forall(0, Box::new(in_region(a, 0).implies(in_region(b, 0)))),
+        ])),
+        _ => None,
+    }
+}
+
+/// Evaluates a query of the library directly on the spatial instance.
+pub fn evaluate_direct(query: &TopologicalQuery, instance: &SpatialInstance) -> bool {
+    if let Some(formula) = point_formula(query) {
+        return DirectEvaluator::new(instance).evaluate(&formula);
+    }
+    // Recursive and interior-sensitive queries: computed on the unreduced
+    // arrangement-level decomposition (raw-data-sized).
+    let unreduced = topo_invariant::top_unreduced(instance);
+    evaluate_on_invariant(query, &unreduced)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topo_spatial::{Region, SpatialInstance};
+
+    fn instance() -> SpatialInstance {
+        SpatialInstance::from_regions([
+            ("P", Region::rectangle(0, 0, 100, 100)),
+            ("Q", Region::rectangle(20, 20, 80, 80)),
+            ("R", Region::rectangle(100, 0, 200, 100)),
+        ])
+    }
+
+    #[test]
+    fn fo_queries_direct() {
+        let instance = instance();
+        assert!(evaluate_direct(&TopologicalQuery::Intersects(0, 1), &instance));
+        assert!(evaluate_direct(&TopologicalQuery::Contains(0, 1), &instance));
+        assert!(!evaluate_direct(&TopologicalQuery::Contains(1, 0), &instance));
+        assert!(evaluate_direct(&TopologicalQuery::Disjoint(1, 2), &instance));
+        assert!(!evaluate_direct(&TopologicalQuery::Equal(0, 1), &instance));
+        assert!(evaluate_direct(&TopologicalQuery::Equal(2, 2), &instance));
+    }
+
+    #[test]
+    fn recursive_queries_direct() {
+        let instance = instance();
+        assert!(evaluate_direct(&TopologicalQuery::IsConnected(0), &instance));
+        assert!(evaluate_direct(&TopologicalQuery::BoundaryOnlyIntersection(0, 2), &instance));
+        assert!(!evaluate_direct(&TopologicalQuery::BoundaryOnlyIntersection(0, 1), &instance));
+        assert!(evaluate_direct(&TopologicalQuery::InteriorsOverlap(0, 1), &instance));
+    }
+
+    #[test]
+    fn direct_agrees_with_invariant_side() {
+        // The core claim of the paper: topological queries can be answered on
+        // the invariant. Check agreement over the whole library.
+        let instance = instance();
+        let invariant = topo_invariant::top(&instance);
+        let queries = [
+            TopologicalQuery::Intersects(0, 1),
+            TopologicalQuery::Intersects(1, 2),
+            TopologicalQuery::Disjoint(1, 2),
+            TopologicalQuery::Contains(0, 1),
+            TopologicalQuery::Contains(0, 2),
+            TopologicalQuery::Equal(0, 0),
+            TopologicalQuery::Equal(0, 2),
+            TopologicalQuery::BoundaryOnlyIntersection(0, 2),
+            TopologicalQuery::BoundaryOnlyIntersection(0, 1),
+            TopologicalQuery::InteriorsOverlap(0, 1),
+            TopologicalQuery::InteriorsOverlap(0, 2),
+            TopologicalQuery::IsConnected(0),
+            TopologicalQuery::ComponentCountEven(1),
+            TopologicalQuery::HasHole(0),
+        ];
+        for query in queries {
+            assert_eq!(
+                evaluate_direct(&query, &instance),
+                evaluate_on_invariant(&query, &invariant),
+                "disagreement on {query:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,687 @@
+//! Inflationary Datalog with negation — the *fixpoint* queries — plus the
+//! counting extension (*fixpoint+counting*) and the partial-fixpoint mode
+//! (the *while* queries).
+//!
+//! The paper's Section 3 results are about these three languages evaluated on
+//! topological invariants:
+//!
+//! * fixpoint ≙ inflationary Datalog¬ ≙ FO+IFP (Theorem 3.2),
+//! * fixpoint+counting, obtained by adding counting over an auxiliary numeric
+//!   domain (Theorem 3.4) — here a [`Literal::Count`] literal counting the
+//!   matches of an atom, combined with the numeric relations installed by
+//!   [`Structure::add_numeric_relations`],
+//! * while ≙ partial fixpoint (Corollaries 3.3 and 3.5), obtained by
+//!   recomputing the derived relations from scratch at every step instead of
+//!   accumulating them.
+//!
+//! The evaluator is a straightforward naive-iteration engine: rules are
+//! evaluated against a snapshot of the current structure, new facts are added
+//! (inflationary) or replace the previous derived relations (partial), and
+//! iteration continues until a fixpoint. Rules must be *range-restricted*:
+//! every variable of the head, of a negative literal, of a comparison, or of a
+//! count result must be bound by an earlier positive literal in the body.
+
+use crate::fo::Term;
+use crate::structure::Structure;
+use std::collections::{HashMap, HashSet};
+
+/// A body literal of a Datalog rule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Literal {
+    /// A positive atom `R(t̄)`; binds its variables.
+    Pos {
+        /// Relation name (base or derived).
+        relation: String,
+        /// Argument terms.
+        terms: Vec<Term>,
+    },
+    /// A negative atom `¬R(t̄)`; all variables must already be bound.
+    Neg {
+        /// Relation name (base or derived).
+        relation: String,
+        /// Argument terms.
+        terms: Vec<Term>,
+    },
+    /// Equality `t1 = t2`; all variables must already be bound.
+    Eq(Term, Term),
+    /// Disequality `t1 ≠ t2`; all variables must already be bound.
+    Neq(Term, Term),
+    /// Counting literal `#{ x̄ : R(t̄) } = result`.
+    ///
+    /// `counted` lists the variables of `t̄` that are counted over; every
+    /// other variable of `t̄` must already be bound. If `result` is a bound
+    /// term the literal is a test; if it is an unbound variable it is bound to
+    /// the count (as a numeric domain element).
+    Count {
+        /// Relation whose matching tuples are counted.
+        relation: String,
+        /// Argument terms of the counted atom.
+        terms: Vec<Term>,
+        /// The counted (existential) variables.
+        counted: Vec<u32>,
+        /// The term receiving or tested against the count.
+        result: Term,
+    },
+}
+
+/// A Datalog rule `head(t̄) ← body`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rule {
+    /// Head relation name.
+    pub head_relation: String,
+    /// Head argument terms.
+    pub head_terms: Vec<Term>,
+    /// Body literals, evaluated left to right.
+    pub body: Vec<Literal>,
+}
+
+impl Rule {
+    /// Convenience constructor.
+    pub fn new(head_relation: &str, head_terms: Vec<Term>, body: Vec<Literal>) -> Self {
+        Rule { head_relation: head_relation.to_string(), head_terms, body }
+    }
+}
+
+/// Evaluation mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Semantics {
+    /// Inflationary fixpoint: all rules fire simultaneously against the
+    /// current state and derived facts accumulate (the *fixpoint* queries;
+    /// with counting literals, *fixpoint+counting*).
+    Inflationary,
+    /// Stratified semantics: rules are partitioned into strata so that a
+    /// relation is never negated (or counted) before its stratum is complete,
+    /// and each stratum runs inflationarily to its fixpoint. Every stratified
+    /// program is expressible in inflationary fixpoint logic, so this mode is
+    /// a convenience for writing the invariant-side query library, not an
+    /// extension of expressive power.
+    Stratified,
+    /// Partial fixpoint: derived relations are recomputed from scratch each
+    /// step (the *while* queries). May fail to converge.
+    Partial,
+}
+
+/// A Datalog program with a designated Boolean output relation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Program {
+    /// The rules.
+    pub rules: Vec<Rule>,
+    /// Name of the output relation; the Boolean answer is "is it non-empty
+    /// after evaluation".
+    pub output: String,
+}
+
+impl Program {
+    /// Creates an empty program with the given output relation.
+    pub fn new(output: &str) -> Self {
+        Program { rules: Vec::new(), output: output.to_string() }
+    }
+
+    /// Adds a rule (builder style).
+    pub fn rule(mut self, rule: Rule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True iff the program has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Names of the derived (intensional) relations.
+    pub fn derived_relations(&self) -> HashSet<String> {
+        self.rules.iter().map(|r| r.head_relation.clone()).collect()
+    }
+
+    /// Runs the program on `input` and returns the resulting structure
+    /// (input relations plus derived relations). Returns `None` only in
+    /// partial-fixpoint mode when no fixpoint is reached within `max_steps`.
+    pub fn run(&self, input: &Structure, semantics: Semantics, max_steps: usize) -> Option<Structure> {
+        let derived = self.derived_relations();
+        let mut state = input.clone();
+        for name in &derived {
+            state.remove_relation(name);
+            if let Some(arity) = self.head_arity(name) {
+                state.add_relation(name, arity);
+            }
+        }
+        match semantics {
+            Semantics::Inflationary => {
+                self.run_inflationary(&mut state, &self.rules.iter().collect::<Vec<_>>());
+                Some(state)
+            }
+            Semantics::Stratified => {
+                for stratum in self.stratify() {
+                    self.run_inflationary(&mut state, &stratum);
+                }
+                Some(state)
+            }
+            Semantics::Partial => {
+                let mut seen: HashSet<String> = HashSet::new();
+                for _ in 0..max_steps {
+                    let snapshot = state.clone();
+                    let mut next = input.clone();
+                    for name in &derived {
+                        next.remove_relation(name);
+                        if let Some(arity) = self.head_arity(name) {
+                            next.add_relation(name, arity);
+                        }
+                    }
+                    for rule in &self.rules {
+                        for tuple in self.rule_heads(rule, &snapshot) {
+                            next.insert(&rule.head_relation, &tuple);
+                        }
+                    }
+                    if next == snapshot {
+                        return Some(next);
+                    }
+                    if !seen.insert(next.fingerprint()) {
+                        // The iteration entered a cycle that is not a fixpoint.
+                        return None;
+                    }
+                    state = next;
+                }
+                None
+            }
+        }
+    }
+
+    /// Runs the program with inflationary semantics and reports whether the
+    /// output relation is non-empty.
+    pub fn eval_boolean(&self, input: &Structure) -> bool {
+        let result = self
+            .run(input, Semantics::Inflationary, usize::MAX)
+            .expect("inflationary evaluation always terminates");
+        result.relation(&self.output).map(|r| !r.is_empty()).unwrap_or(false)
+    }
+
+    /// Runs the program with stratified semantics and reports whether the
+    /// output relation is non-empty.
+    pub fn eval_boolean_stratified(&self, input: &Structure) -> bool {
+        let result = self
+            .run(input, Semantics::Stratified, usize::MAX)
+            .expect("stratified evaluation always terminates");
+        result.relation(&self.output).map(|r| !r.is_empty()).unwrap_or(false)
+    }
+
+    /// Applies the given rules inflationarily until nothing new is derived.
+    fn run_inflationary(&self, state: &mut Structure, rules: &[&Rule]) {
+        loop {
+            let snapshot = state.clone();
+            let mut changed = false;
+            for rule in rules {
+                for tuple in self.rule_heads(rule, &snapshot) {
+                    if !state.contains(&rule.head_relation, &tuple) {
+                        state.insert(&rule.head_relation, &tuple);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                return;
+            }
+        }
+    }
+
+    /// Partitions the rules into strata: a rule goes into the first stratum in
+    /// which every relation it negates or counts is already fully defined
+    /// (i.e. no later stratum has a rule with that head).
+    ///
+    /// # Panics
+    /// Panics if the program has negation (or counting) through recursion,
+    /// i.e. cannot be stratified.
+    fn stratify(&self) -> Vec<Vec<&Rule>> {
+        let derived = self.derived_relations();
+        // Stratum number per derived relation, computed by iterating the
+        // standard constraints to a fixpoint.
+        let mut stratum: HashMap<String, usize> =
+            derived.iter().map(|name| (name.clone(), 0usize)).collect();
+        let max_stratum = derived.len() + 1;
+        loop {
+            let mut changed = false;
+            for rule in &self.rules {
+                let head_level = stratum[&rule.head_relation];
+                let mut required = head_level;
+                for literal in &rule.body {
+                    match literal {
+                        Literal::Pos { relation, .. } => {
+                            if let Some(&level) = stratum.get(relation) {
+                                required = required.max(level);
+                            }
+                        }
+                        Literal::Neg { relation, .. } | Literal::Count { relation, .. } => {
+                            if let Some(&level) = stratum.get(relation) {
+                                required = required.max(level + 1);
+                            }
+                        }
+                        Literal::Eq(..) | Literal::Neq(..) => {}
+                    }
+                }
+                if required > head_level {
+                    assert!(
+                        required < max_stratum,
+                        "program is not stratifiable (negation through recursion on {})",
+                        rule.head_relation
+                    );
+                    stratum.insert(rule.head_relation.clone(), required);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let levels = stratum.values().copied().max().unwrap_or(0);
+        let mut out: Vec<Vec<&Rule>> = vec![Vec::new(); levels + 1];
+        for rule in &self.rules {
+            out[stratum[&rule.head_relation]].push(rule);
+        }
+        out
+    }
+
+    fn head_arity(&self, name: &str) -> Option<usize> {
+        self.rules.iter().find(|r| r.head_relation == name).map(|r| r.head_terms.len())
+    }
+
+    /// All head tuples derivable from one rule against a snapshot.
+    fn rule_heads(&self, rule: &Rule, snapshot: &Structure) -> Vec<Vec<u32>> {
+        let mut bindings: Vec<HashMap<u32, u32>> = vec![HashMap::new()];
+        for literal in &rule.body {
+            bindings = self.apply_literal(literal, &bindings, snapshot);
+            if bindings.is_empty() {
+                return Vec::new();
+            }
+        }
+        let mut out = Vec::new();
+        for binding in &bindings {
+            let tuple: Vec<u32> = rule
+                .head_terms
+                .iter()
+                .map(|t| Self::value(t, binding).unwrap_or_else(|| {
+                    panic!(
+                        "unsafe rule: head variable of {} not bound by the body",
+                        rule.head_relation
+                    )
+                }))
+                .collect();
+            out.push(tuple);
+        }
+        out
+    }
+
+    fn value(term: &Term, binding: &HashMap<u32, u32>) -> Option<u32> {
+        match term {
+            Term::Const(c) => Some(*c),
+            Term::Var(v) => binding.get(v).copied(),
+        }
+    }
+
+    fn apply_literal(
+        &self,
+        literal: &Literal,
+        bindings: &[HashMap<u32, u32>],
+        snapshot: &Structure,
+    ) -> Vec<HashMap<u32, u32>> {
+        let mut out = Vec::new();
+        match literal {
+            Literal::Pos { relation, terms } => {
+                let Some(rel) = snapshot.relation(relation) else {
+                    return Vec::new();
+                };
+                for binding in bindings {
+                    for tuple in rel.iter() {
+                        if let Some(extended) = Self::unify(terms, tuple, binding) {
+                            out.push(extended);
+                        }
+                    }
+                }
+            }
+            Literal::Neg { relation, terms } => {
+                for binding in bindings {
+                    let tuple: Vec<u32> = terms
+                        .iter()
+                        .map(|t| {
+                            Self::value(t, binding)
+                                .expect("unsafe rule: negative literal with unbound variable")
+                        })
+                        .collect();
+                    if !snapshot.contains(relation, &tuple) {
+                        out.push(binding.clone());
+                    }
+                }
+            }
+            Literal::Eq(a, b) | Literal::Neq(a, b) => {
+                let want_equal = matches!(literal, Literal::Eq(..));
+                for binding in bindings {
+                    let va = Self::value(a, binding)
+                        .expect("unsafe rule: comparison with unbound variable");
+                    let vb = Self::value(b, binding)
+                        .expect("unsafe rule: comparison with unbound variable");
+                    if (va == vb) == want_equal {
+                        out.push(binding.clone());
+                    }
+                }
+            }
+            Literal::Count { relation, terms, counted, result } => {
+                for binding in bindings {
+                    let count = self.count_matches(relation, terms, counted, binding, snapshot);
+                    match Self::value(result, binding) {
+                        Some(expected) => {
+                            if expected as usize == count {
+                                out.push(binding.clone());
+                            }
+                        }
+                        None => {
+                            if let Term::Var(v) = result {
+                                let mut extended = binding.clone();
+                                extended.insert(*v, count as u32);
+                                out.push(extended);
+                            } else {
+                                unreachable!("constant result term is always bound");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn count_matches(
+        &self,
+        relation: &str,
+        terms: &[Term],
+        counted: &[u32],
+        binding: &HashMap<u32, u32>,
+        snapshot: &Structure,
+    ) -> usize {
+        let Some(rel) = snapshot.relation(relation) else {
+            return 0;
+        };
+        let mut witnesses: HashSet<Vec<u32>> = HashSet::new();
+        for tuple in rel.iter() {
+            if let Some(extended) = Self::unify(terms, tuple, binding) {
+                let witness: Vec<u32> = counted
+                    .iter()
+                    .map(|v| {
+                        *extended
+                            .get(v)
+                            .expect("counted variable does not occur in the counted atom")
+                    })
+                    .collect();
+                witnesses.insert(witness);
+            }
+        }
+        witnesses.len()
+    }
+
+    /// Tries to extend `binding` so the atom's terms match `tuple`.
+    fn unify(terms: &[Term], tuple: &[u32], binding: &HashMap<u32, u32>) -> Option<HashMap<u32, u32>> {
+        if terms.len() != tuple.len() {
+            return None;
+        }
+        let mut extended = binding.clone();
+        for (term, &value) in terms.iter().zip(tuple.iter()) {
+            match term {
+                Term::Const(c) => {
+                    if *c != value {
+                        return None;
+                    }
+                }
+                Term::Var(v) => match extended.get(v) {
+                    Some(&bound) => {
+                        if bound != value {
+                            return None;
+                        }
+                    }
+                    None => {
+                        extended.insert(*v, value);
+                    }
+                },
+            }
+        }
+        Some(extended)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Term {
+        Term::Var(i)
+    }
+
+    /// A directed path 0 -> 1 -> 2 -> 3 plus an isolated element 4.
+    fn path() -> Structure {
+        let mut s = Structure::new(5);
+        for i in 0..3u32 {
+            s.insert("E", &[i, i + 1]);
+        }
+        s
+    }
+
+    fn transitive_closure() -> Program {
+        Program::new("T")
+            .rule(Rule::new("T", vec![v(0), v(1)], vec![Literal::Pos {
+                relation: "E".into(),
+                terms: vec![v(0), v(1)],
+            }]))
+            .rule(Rule::new(
+                "T",
+                vec![v(0), v(2)],
+                vec![
+                    Literal::Pos { relation: "T".into(), terms: vec![v(0), v(1)] },
+                    Literal::Pos { relation: "E".into(), terms: vec![v(1), v(2)] },
+                ],
+            ))
+    }
+
+    #[test]
+    fn transitive_closure_inflationary() {
+        let result = transitive_closure().run(&path(), Semantics::Inflationary, usize::MAX).unwrap();
+        let t = result.relation("T").unwrap();
+        assert_eq!(t.len(), 6);
+        assert!(t.contains(&[0, 3]));
+        assert!(!t.contains(&[3, 0]));
+    }
+
+    #[test]
+    fn boolean_output() {
+        // Is there a path from 0 to 3?
+        let program = transitive_closure().rule(Rule::new(
+            "Answer",
+            vec![],
+            vec![Literal::Pos { relation: "T".into(), terms: vec![Term::Const(0), Term::Const(3)] }],
+        ));
+        let program = Program { output: "Answer".into(), ..program };
+        assert!(program.eval_boolean(&path()));
+
+        let mut broken = path();
+        broken.remove_relation("E");
+        broken.insert("E", &[0, 1]);
+        assert!(!program.eval_boolean(&broken));
+    }
+
+    #[test]
+    fn negation_and_comparisons() {
+        // Sink(x) <- Node(x), not HasOut(x);  HasOut(x) <- E(x, y).
+        let mut s = path();
+        for i in 0..5u32 {
+            s.insert("Node", &[i]);
+        }
+        let program = Program::new("Sink")
+            .rule(Rule::new("HasOut", vec![v(0)], vec![Literal::Pos {
+                relation: "E".into(),
+                terms: vec![v(0), v(1)],
+            }]))
+            .rule(Rule::new(
+                "Sink",
+                vec![v(0)],
+                vec![
+                    Literal::Pos { relation: "Node".into(), terms: vec![v(0)] },
+                    Literal::Neg { relation: "HasOut".into(), terms: vec![v(0)] },
+                ],
+            ));
+        // Stratified semantics computes HasOut completely before negating it.
+        let result = program.run(&s, Semantics::Stratified, usize::MAX).unwrap();
+        let sinks = result.relation("Sink").unwrap().sorted_tuples();
+        assert_eq!(sinks, vec![vec![3], vec![4]]);
+        // Simultaneous inflationary firing instead sees the (still empty)
+        // HasOut in the first round and keeps everything it derived.
+        let result = program.run(&s, Semantics::Inflationary, usize::MAX).unwrap();
+        assert_eq!(result.relation("Sink").unwrap().len(), 5);
+    }
+
+    #[test]
+    fn stratification_orders_negation_correctly() {
+        // Unreachable(x) <- Node(x), not Reach(x); Reach via recursion from 0.
+        let mut s = path();
+        for i in 0..5u32 {
+            s.insert("Node", &[i]);
+        }
+        let program = Program::new("Unreachable")
+            .rule(Rule::new("Reach", vec![Term::Const(0)], vec![Literal::Pos {
+                relation: "Node".into(),
+                terms: vec![Term::Const(0)],
+            }]))
+            .rule(Rule::new(
+                "Reach",
+                vec![v(1)],
+                vec![
+                    Literal::Pos { relation: "Reach".into(), terms: vec![v(0)] },
+                    Literal::Pos { relation: "E".into(), terms: vec![v(0), v(1)] },
+                ],
+            ))
+            .rule(Rule::new(
+                "Unreachable",
+                vec![v(0)],
+                vec![
+                    Literal::Pos { relation: "Node".into(), terms: vec![v(0)] },
+                    Literal::Neg { relation: "Reach".into(), terms: vec![v(0)] },
+                ],
+            ));
+        let result = program.run(&s, Semantics::Stratified, usize::MAX).unwrap();
+        assert_eq!(result.relation("Unreachable").unwrap().sorted_tuples(), vec![vec![4]]);
+        assert!(program.eval_boolean_stratified(&s));
+    }
+
+    #[test]
+    #[should_panic]
+    fn unstratifiable_program_panics() {
+        let mut s = Structure::new(2);
+        s.insert("Node", &[0]);
+        let program = Program::new("P")
+            .rule(Rule::new(
+                "P",
+                vec![v(0)],
+                vec![
+                    Literal::Pos { relation: "Node".into(), terms: vec![v(0)] },
+                    Literal::Neg { relation: "Q".into(), terms: vec![v(0)] },
+                ],
+            ))
+            .rule(Rule::new(
+                "Q",
+                vec![v(0)],
+                vec![
+                    Literal::Pos { relation: "Node".into(), terms: vec![v(0)] },
+                    Literal::Neg { relation: "P".into(), terms: vec![v(0)] },
+                ],
+            ));
+        let _ = program.run(&s, Semantics::Stratified, usize::MAX);
+    }
+
+    #[test]
+    fn counting_parity() {
+        // Is the number of elements of U even? (The classical query fixpoint
+        // alone cannot express.)
+        let mut s = Structure::new(6);
+        s.add_numeric_relations();
+        for i in [1u32, 3, 4, 5] {
+            s.insert("U", &[i]);
+        }
+        let program = Program::new("Answer").rule(Rule::new(
+            "Answer",
+            vec![],
+            vec![
+                Literal::Count {
+                    relation: "U".into(),
+                    terms: vec![v(0)],
+                    counted: vec![0],
+                    result: v(1),
+                },
+                Literal::Pos { relation: "Even".into(), terms: vec![v(1)] },
+            ],
+        ));
+        assert!(program.eval_boolean(&s));
+        s.insert("U", &[0]);
+        assert!(!program.eval_boolean(&s));
+    }
+
+    #[test]
+    fn count_with_bound_result() {
+        let mut s = Structure::new(4);
+        s.add_numeric_relations();
+        s.insert("E", &[0, 1]);
+        s.insert("E", &[0, 2]);
+        s.insert("E", &[1, 2]);
+        // OutDeg2(x) <- #{y : E(x,y)} = 2.
+        let program = Program::new("OutDeg2").rule(Rule::new(
+            "OutDeg2",
+            vec![v(0)],
+            vec![
+                Literal::Pos { relation: "E".into(), terms: vec![v(0), v(2)] },
+                Literal::Count {
+                    relation: "E".into(),
+                    terms: vec![v(0), v(1)],
+                    counted: vec![1],
+                    result: Term::Const(2),
+                },
+            ],
+        ));
+        let result = program.run(&s, Semantics::Inflationary, usize::MAX).unwrap();
+        assert_eq!(result.relation("OutDeg2").unwrap().sorted_tuples(), vec![vec![0]]);
+    }
+
+    #[test]
+    fn partial_fixpoint_reaches_stable_state() {
+        // Partial fixpoint of the transitive-closure rules also converges
+        // (each step recomputes a larger relation until stable).
+        let result = transitive_closure().run(&path(), Semantics::Partial, 100).unwrap();
+        assert_eq!(result.relation("T").unwrap().len(), 6);
+    }
+
+    #[test]
+    fn partial_fixpoint_detects_divergence() {
+        // Flip(x) <- Node(x), not Flip(x): oscillates, never converges.
+        let mut s = Structure::new(2);
+        s.insert("Node", &[0]);
+        let program = Program::new("Flip").rule(Rule::new(
+            "Flip",
+            vec![v(0)],
+            vec![
+                Literal::Pos { relation: "Node".into(), terms: vec![v(0)] },
+                Literal::Neg { relation: "Flip".into(), terms: vec![v(0)] },
+            ],
+        ));
+        assert!(program.run(&s, Semantics::Partial, 50).is_none());
+        // The inflationary semantics of the same rules converges.
+        assert!(program.run(&s, Semantics::Inflationary, usize::MAX).is_some());
+    }
+
+    #[test]
+    #[should_panic]
+    fn unsafe_rule_panics() {
+        let program = Program::new("Bad").rule(Rule::new(
+            "Bad",
+            vec![v(7)],
+            vec![Literal::Pos { relation: "E".into(), terms: vec![v(0), v(1)] }],
+        ));
+        let _ = program.eval_boolean(&path());
+    }
+}

@@ -1,0 +1,374 @@
+//! First-order logic over finite relational structures (`FO_inv`).
+
+use crate::structure::Structure;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A term: a variable or a domain constant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A variable, identified by an index.
+    Var(u32),
+    /// A constant element of the domain.
+    Const(u32),
+}
+
+/// A first-order formula over the vocabulary of a [`Structure`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Formula {
+    /// The constant true.
+    True,
+    /// The constant false.
+    False,
+    /// `R(t1, …, tk)`.
+    Atom {
+        /// Relation name.
+        relation: String,
+        /// Argument terms.
+        terms: Vec<Term>,
+    },
+    /// `t1 = t2`.
+    Eq(Term, Term),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction (true when empty).
+    And(Vec<Formula>),
+    /// Disjunction (false when empty).
+    Or(Vec<Formula>),
+    /// Existential quantification.
+    Exists(u32, Box<Formula>),
+    /// Universal quantification.
+    Forall(u32, Box<Formula>),
+}
+
+impl Formula {
+    /// Convenience constructor for atoms.
+    pub fn atom(relation: &str, terms: Vec<Term>) -> Formula {
+        Formula::Atom { relation: relation.to_string(), terms }
+    }
+
+    /// `φ → ψ` as `¬φ ∨ ψ`.
+    pub fn implies(self, other: Formula) -> Formula {
+        Formula::Or(vec![Formula::Not(Box::new(self)), other])
+    }
+
+    /// Quantifier depth.
+    pub fn quantifier_depth(&self) -> usize {
+        match self {
+            Formula::True | Formula::False | Formula::Atom { .. } | Formula::Eq(..) => 0,
+            Formula::Not(f) => f.quantifier_depth(),
+            Formula::And(fs) | Formula::Or(fs) => {
+                fs.iter().map(|f| f.quantifier_depth()).max().unwrap_or(0)
+            }
+            Formula::Exists(_, f) | Formula::Forall(_, f) => 1 + f.quantifier_depth(),
+        }
+    }
+
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::True | Formula::False | Formula::Atom { .. } | Formula::Eq(..) => 1,
+            Formula::Not(f) => 1 + f.size(),
+            Formula::And(fs) | Formula::Or(fs) => 1 + fs.iter().map(|f| f.size()).sum::<usize>(),
+            Formula::Exists(_, f) | Formula::Forall(_, f) => 1 + f.size(),
+        }
+    }
+
+    /// Free variables.
+    pub fn free_vars(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.collect_free(&mut Vec::new(), &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_free(&self, bound: &mut Vec<u32>, out: &mut Vec<u32>) {
+        let mut push_term = |t: &Term, bound: &Vec<u32>, out: &mut Vec<u32>| {
+            if let Term::Var(v) = t {
+                if !bound.contains(v) {
+                    out.push(*v);
+                }
+            }
+        };
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Atom { terms, .. } => {
+                for t in terms {
+                    push_term(t, bound, out);
+                }
+            }
+            Formula::Eq(a, b) => {
+                push_term(a, bound, out);
+                push_term(b, bound, out);
+            }
+            Formula::Not(f) => f.collect_free(bound, out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_free(bound, out);
+                }
+            }
+            Formula::Exists(v, f) | Formula::Forall(v, f) => {
+                bound.push(*v);
+                f.collect_free(bound, out);
+                bound.pop();
+            }
+        }
+    }
+
+    /// True iff the formula has no free variables.
+    pub fn is_sentence(&self) -> bool {
+        self.free_vars().is_empty()
+    }
+
+    /// Evaluates a sentence on a structure.
+    ///
+    /// # Panics
+    /// Panics if the formula has free variables.
+    pub fn holds(&self, structure: &Structure) -> bool {
+        assert!(self.is_sentence(), "evaluation of an open formula without an assignment");
+        self.eval(structure, &mut HashMap::new())
+    }
+
+    /// Evaluates the formula under a (partial) assignment of its free
+    /// variables.
+    pub fn holds_with(&self, structure: &Structure, assignment: &HashMap<u32, u32>) -> bool {
+        let mut assignment = assignment.clone();
+        self.eval(structure, &mut assignment)
+    }
+
+    /// All assignments (as tuples in the order of `vars`) of the given free
+    /// variables that satisfy the formula.
+    pub fn satisfying_tuples(&self, structure: &Structure, vars: &[u32]) -> Vec<Vec<u32>> {
+        let mut out = Vec::new();
+        let mut assignment = HashMap::new();
+        self.enumerate(structure, vars, 0, &mut assignment, &mut out);
+        out.sort();
+        out
+    }
+
+    fn enumerate(
+        &self,
+        structure: &Structure,
+        vars: &[u32],
+        index: usize,
+        assignment: &mut HashMap<u32, u32>,
+        out: &mut Vec<Vec<u32>>,
+    ) {
+        if index == vars.len() {
+            if self.eval(structure, &mut assignment.clone()) {
+                out.push(vars.iter().map(|v| assignment[v]).collect());
+            }
+            return;
+        }
+        for value in structure.domain() {
+            assignment.insert(vars[index], value);
+            self.enumerate(structure, vars, index + 1, assignment, out);
+        }
+        assignment.remove(&vars[index]);
+    }
+
+    fn value(term: &Term, assignment: &HashMap<u32, u32>) -> u32 {
+        match term {
+            Term::Const(c) => *c,
+            Term::Var(v) => *assignment
+                .get(v)
+                .unwrap_or_else(|| panic!("unbound variable x{v} during evaluation")),
+        }
+    }
+
+    fn eval(&self, structure: &Structure, assignment: &mut HashMap<u32, u32>) -> bool {
+        match self {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::Atom { relation, terms } => {
+                let tuple: Vec<u32> = terms.iter().map(|t| Self::value(t, assignment)).collect();
+                structure.contains(relation, &tuple)
+            }
+            Formula::Eq(a, b) => Self::value(a, assignment) == Self::value(b, assignment),
+            Formula::Not(f) => !f.eval(structure, assignment),
+            Formula::And(fs) => fs.iter().all(|f| f.eval(structure, assignment)),
+            Formula::Or(fs) => fs.iter().any(|f| f.eval(structure, assignment)),
+            Formula::Exists(v, f) => {
+                let previous = assignment.get(v).copied();
+                let mut result = false;
+                for value in structure.domain() {
+                    assignment.insert(*v, value);
+                    if f.eval(structure, assignment) {
+                        result = true;
+                        break;
+                    }
+                }
+                restore(assignment, *v, previous);
+                result
+            }
+            Formula::Forall(v, f) => {
+                let previous = assignment.get(v).copied();
+                let mut result = true;
+                for value in structure.domain() {
+                    assignment.insert(*v, value);
+                    if !f.eval(structure, assignment) {
+                        result = false;
+                        break;
+                    }
+                }
+                restore(assignment, *v, previous);
+                result
+            }
+        }
+    }
+}
+
+fn restore(assignment: &mut HashMap<u32, u32>, var: u32, previous: Option<u32>) {
+    match previous {
+        Some(value) => {
+            assignment.insert(var, value);
+        }
+        None => {
+            assignment.remove(&var);
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "⊤"),
+            Formula::False => write!(f, "⊥"),
+            Formula::Atom { relation, terms } => {
+                write!(f, "{relation}(")?;
+                for (i, t) in terms.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    match t {
+                        Term::Var(v) => write!(f, "x{v}")?,
+                        Term::Const(c) => write!(f, "{c}")?,
+                    }
+                }
+                write!(f, ")")
+            }
+            Formula::Eq(a, b) => {
+                let show = |t: &Term| match t {
+                    Term::Var(v) => format!("x{v}"),
+                    Term::Const(c) => format!("{c}"),
+                };
+                write!(f, "{} = {}", show(a), show(b))
+            }
+            Formula::Not(inner) => write!(f, "¬({inner})"),
+            Formula::And(fs) => {
+                write!(f, "(")?;
+                for (i, inner) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{inner}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(fs) => {
+                write!(f, "(")?;
+                for (i, inner) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{inner}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Exists(v, inner) => write!(f, "∃x{v} {inner}"),
+            Formula::Forall(v, inner) => write!(f, "∀x{v} {inner}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A directed path 0 -> 1 -> 2 -> 3.
+    fn path() -> Structure {
+        let mut s = Structure::new(4);
+        for i in 0..3u32 {
+            s.insert("E", &[i, i + 1]);
+        }
+        s
+    }
+
+    #[test]
+    fn atoms_and_connectives() {
+        let s = path();
+        let f = Formula::atom("E", vec![Term::Const(0), Term::Const(1)]);
+        assert!(f.holds(&s));
+        let g = Formula::Not(Box::new(Formula::atom("E", vec![Term::Const(1), Term::Const(0)])));
+        assert!(g.holds(&s));
+        assert!(Formula::And(vec![f, g]).holds(&s));
+        assert!(Formula::And(vec![]).holds(&s));
+        assert!(!Formula::Or(vec![]).holds(&s));
+    }
+
+    #[test]
+    fn quantifiers() {
+        let s = path();
+        // Every element with an outgoing edge has one with an incoming edge: true.
+        let has_out = Formula::Exists(1, Box::new(Formula::atom("E", vec![Term::Var(0), Term::Var(1)])));
+        let has_in = Formula::Exists(2, Box::new(Formula::atom("E", vec![Term::Var(2), Term::Var(0)])));
+        let sentence = Formula::Forall(0, Box::new(has_out.clone().implies(has_out.clone())));
+        assert!(sentence.holds(&s));
+        // There is a source: an element with outgoing but no incoming edge.
+        let source = Formula::Exists(
+            0,
+            Box::new(Formula::And(vec![has_out, Formula::Not(Box::new(has_in))])),
+        );
+        assert!(source.holds(&s));
+    }
+
+    #[test]
+    fn satisfying_tuples_enumeration() {
+        let s = path();
+        let f = Formula::atom("E", vec![Term::Var(0), Term::Var(1)]);
+        let tuples = f.satisfying_tuples(&s, &[0, 1]);
+        assert_eq!(tuples, vec![vec![0, 1], vec![1, 2], vec![2, 3]]);
+    }
+
+    #[test]
+    fn depth_size_free_vars() {
+        let f = Formula::Exists(
+            0,
+            Box::new(Formula::And(vec![
+                Formula::atom("E", vec![Term::Var(0), Term::Var(1)]),
+                Formula::Eq(Term::Var(1), Term::Const(2)),
+            ])),
+        );
+        assert_eq!(f.quantifier_depth(), 1);
+        assert_eq!(f.size(), 4);
+        assert_eq!(f.free_vars(), vec![1]);
+        assert!(!f.is_sentence());
+    }
+
+    #[test]
+    fn holds_with_assignment() {
+        let s = path();
+        let f = Formula::atom("E", vec![Term::Var(0), Term::Var(1)]);
+        let mut assignment = HashMap::new();
+        assignment.insert(0, 1u32);
+        assignment.insert(1, 2u32);
+        assert!(f.holds_with(&s, &assignment));
+        assignment.insert(1, 3u32);
+        assert!(!f.holds_with(&s, &assignment));
+    }
+
+    #[test]
+    fn display_round() {
+        let f = Formula::Exists(0, Box::new(Formula::atom("R", vec![Term::Var(0), Term::Const(3)])));
+        assert_eq!(format!("{f}"), "∃x0 R(x0, 3)");
+    }
+
+    #[test]
+    #[should_panic]
+    fn open_formula_needs_assignment() {
+        let s = path();
+        let f = Formula::atom("E", vec![Term::Var(0), Term::Var(1)]);
+        let _ = f.holds(&s);
+    }
+}

@@ -1,0 +1,265 @@
+//! Isomorphism of finite relational structures.
+//!
+//! Theorem 2.1(ii) reduces topological equivalence of spatial instances to
+//! isomorphism of their invariants, so an isomorphism test is part of the
+//! public API. The implementation is a colour-refinement-guided backtracking
+//! search: adequate for invariants of the sizes the tests and experiments
+//! use, and independent of the canonical codes computed by `topo-invariant`
+//! (the two are cross-validated against each other in the test suites).
+
+use crate::structure::Structure;
+use std::collections::HashMap;
+
+/// Returns an isomorphism from `a` to `b` as a mapping of domain elements, if
+/// one exists.
+pub fn find_isomorphism(a: &Structure, b: &Structure) -> Option<Vec<u32>> {
+    if a.domain_size() != b.domain_size() {
+        return None;
+    }
+    // Vocabulary check: same relation names, arities and cardinalities.
+    let names_a: Vec<&str> = a.relation_names().collect();
+    let names_b: Vec<&str> = b.relation_names().collect();
+    if names_a != names_b {
+        return None;
+    }
+    for name in &names_a {
+        let ra = a.relation(name).unwrap();
+        let rb = b.relation(name).unwrap();
+        if ra.arity() != rb.arity() || ra.len() != rb.len() {
+            return None;
+        }
+    }
+    let n = a.domain_size();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    let colors_a = refine_colors(a);
+    let colors_b = refine_colors(b);
+    // The multisets of colours must agree.
+    let mut hist_a: HashMap<u64, usize> = HashMap::new();
+    let mut hist_b: HashMap<u64, usize> = HashMap::new();
+    for &c in &colors_a {
+        *hist_a.entry(c).or_default() += 1;
+    }
+    for &c in &colors_b {
+        *hist_b.entry(c).or_default() += 1;
+    }
+    if hist_a != hist_b {
+        return None;
+    }
+    // Backtracking: map elements of `a` in order of ascending colour-class
+    // size (most constrained first).
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by_key(|&x| (hist_a[&colors_a[x as usize]], x));
+    let mut mapping: Vec<Option<u32>> = vec![None; n];
+    let mut used: Vec<bool> = vec![false; n];
+    if backtrack(a, b, &colors_a, &colors_b, &order, 0, &mut mapping, &mut used) {
+        Some(mapping.into_iter().map(|m| m.unwrap()).collect())
+    } else {
+        None
+    }
+}
+
+/// True iff the two structures are isomorphic.
+pub fn isomorphic(a: &Structure, b: &Structure) -> bool {
+    find_isomorphism(a, b).is_some()
+}
+
+/// Iterated colour refinement (1-dimensional Weisfeiler–Leman adapted to
+/// arbitrary arities): each element's colour is refined by the multiset of
+/// (relation, position, colours of the other tuple members) it participates
+/// in.
+fn refine_colors(s: &Structure) -> Vec<u64> {
+    let n = s.domain_size();
+    let mut colors: Vec<u64> = vec![0; n];
+    for _round in 0..n.max(1) {
+        let mut signatures: Vec<Vec<u64>> = vec![Vec::new(); n];
+        for name in s.relation_names() {
+            let rel = s.relation(name).unwrap();
+            let name_hash = hash_str(name);
+            for tuple in rel.iter() {
+                for (pos, &x) in tuple.iter().enumerate() {
+                    let mut sig = name_hash ^ (pos as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                    for (other_pos, &y) in tuple.iter().enumerate() {
+                        if other_pos != pos {
+                            sig = sig
+                                .wrapping_mul(31)
+                                .wrapping_add(colors[y as usize].wrapping_add(other_pos as u64));
+                        }
+                    }
+                    signatures[x as usize].push(sig);
+                }
+            }
+        }
+        let mut next: Vec<u64> = Vec::with_capacity(n);
+        for x in 0..n {
+            let mut sig = signatures[x].clone();
+            sig.sort_unstable();
+            let mut h = colors[x].wrapping_mul(0x1000_0000_01b3);
+            for v in sig {
+                h = h.wrapping_mul(0x1000_0000_01b3).wrapping_add(v);
+            }
+            next.push(h);
+        }
+        if next == colors {
+            break;
+        }
+        colors = next;
+    }
+    colors
+}
+
+fn hash_str(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[allow(clippy::too_many_arguments)]
+fn backtrack(
+    a: &Structure,
+    b: &Structure,
+    colors_a: &[u64],
+    colors_b: &[u64],
+    order: &[u32],
+    index: usize,
+    mapping: &mut Vec<Option<u32>>,
+    used: &mut Vec<bool>,
+) -> bool {
+    if index == order.len() {
+        return full_check(a, b, mapping);
+    }
+    let x = order[index] as usize;
+    for y in 0..b.domain_size() {
+        if used[y] || colors_a[x] != colors_b[y] {
+            continue;
+        }
+        mapping[x] = Some(y as u32);
+        used[y] = true;
+        if partial_check(a, b, mapping, x as u32)
+            && backtrack(a, b, colors_a, colors_b, order, index + 1, mapping, used)
+        {
+            return true;
+        }
+        mapping[x] = None;
+        used[y] = false;
+    }
+    false
+}
+
+/// Checks all tuples involving `just_mapped` whose elements are all mapped.
+fn partial_check(a: &Structure, b: &Structure, mapping: &[Option<u32>], just_mapped: u32) -> bool {
+    for name in a.relation_names() {
+        let rel_a = a.relation(name).unwrap();
+        for tuple in rel_a.iter() {
+            if !tuple.contains(&just_mapped) {
+                continue;
+            }
+            let image: Option<Vec<u32>> =
+                tuple.iter().map(|&x| mapping[x as usize]).collect();
+            if let Some(image) = image {
+                if !b.contains(name, &image) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Final verification that the complete mapping is an isomorphism in both
+/// directions (tuple counts are equal, so one direction plus injectivity is
+/// enough; injectivity is guaranteed by `used`).
+fn full_check(a: &Structure, b: &Structure, mapping: &[Option<u32>]) -> bool {
+    for name in a.relation_names() {
+        let rel_a = a.relation(name).unwrap();
+        for tuple in rel_a.iter() {
+            let image: Vec<u32> = tuple.iter().map(|&x| mapping[x as usize].unwrap()).collect();
+            if !b.contains(name, &image) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A directed cycle of length `n` with elements renamed by `shift`.
+    fn cycle(n: u32, shift: u32) -> Structure {
+        let mut s = Structure::new(n as usize);
+        for i in 0..n {
+            s.insert("E", &[(i + shift) % n, (i + 1 + shift) % n]);
+        }
+        s
+    }
+
+    #[test]
+    fn isomorphic_cycles() {
+        let a = cycle(6, 0);
+        let b = cycle(6, 3);
+        let iso = find_isomorphism(&a, &b).expect("cycles are isomorphic");
+        // Verify the witness.
+        for i in 0..6u32 {
+            assert!(b.contains("E", &[iso[i as usize], iso[((i + 1) % 6) as usize]]));
+        }
+    }
+
+    #[test]
+    fn non_isomorphic_different_size() {
+        assert!(!isomorphic(&cycle(5, 0), &cycle(6, 0)));
+    }
+
+    #[test]
+    fn non_isomorphic_same_counts() {
+        // A 6-cycle vs two 3-cycles: same number of elements and edges.
+        let a = cycle(6, 0);
+        let mut b = Structure::new(6);
+        for offset in [0u32, 3] {
+            for i in 0..3 {
+                b.insert("E", &[offset + i, offset + (i + 1) % 3]);
+            }
+        }
+        assert!(!isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn respects_unary_relations() {
+        let mut a = cycle(4, 0);
+        a.insert("Mark", &[0]);
+        let mut b = cycle(4, 0);
+        b.insert("Mark", &[1]);
+        // Still isomorphic (rotate by one).
+        assert!(isomorphic(&a, &b));
+        let mut c = cycle(4, 0);
+        c.insert("Mark", &[0]);
+        c.insert("Mark", &[1]);
+        assert!(!isomorphic(&a, &c));
+    }
+
+    #[test]
+    fn empty_structures() {
+        assert!(isomorphic(&Structure::new(0), &Structure::new(0)));
+        assert!(!isomorphic(&Structure::new(0), &Structure::new(1)));
+    }
+
+    #[test]
+    fn directed_vs_reversed_path() {
+        let mut a = Structure::new(3);
+        a.insert("E", &[0, 1]);
+        a.insert("E", &[1, 2]);
+        let mut b = Structure::new(3);
+        b.insert("E", &[2, 1]);
+        b.insert("E", &[1, 0]);
+        // Reversing a path is an isomorphic directed graph (relabel endpoints).
+        assert!(isomorphic(&a, &b));
+        let mut c = Structure::new(3);
+        c.insert("E", &[0, 1]);
+        c.insert("E", &[0, 2]);
+        assert!(!isomorphic(&a, &c));
+    }
+}

@@ -1,0 +1,31 @@
+//! Finite relational structures and the invariant-side query languages.
+//!
+//! The topological invariant of a spatial database is an ordinary finite
+//! relational structure, so the languages the paper studies on the invariant
+//! side are classical: first-order logic (`FO_inv`), inflationary fixpoint /
+//! inflationary Datalog with negation (*fixpoint*), its extension with
+//! counting (*fixpoint+counting*), and partial-fixpoint iteration (*while*).
+//! This crate provides all of them, independently of anything spatial:
+//!
+//! * [`Structure`] — a finite structure: a domain `{0, …, n-1}` plus named
+//!   relations of fixed arity.
+//! * [`fo`] — first-order formulas and their evaluation.
+//! * [`datalog`] — inflationary Datalog¬ programs (the fixpoint queries),
+//!   with counting literals (fixpoint+counting) and a partial-fixpoint mode
+//!   (the while queries).
+//! * [`isomorphism`] — isomorphism testing between structures, used to
+//!   cross-validate the canonical forms computed by `topo-invariant`.
+//! * [`games`] — Ehrenfeucht–Fraïssé games: `FO_r` equivalence of two finite
+//!   structures, used by the Section 4 translation machinery and its tests.
+
+pub mod datalog;
+pub mod fo;
+pub mod games;
+pub mod isomorphism;
+pub mod structure;
+
+pub use datalog::{Literal, Program, Rule, Semantics};
+pub use fo::{Formula, Term};
+pub use games::fo_equivalent;
+pub use isomorphism::{find_isomorphism, isomorphic};
+pub use structure::Structure;

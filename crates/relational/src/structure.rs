@@ -1,0 +1,271 @@
+//! Finite relational structures.
+
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+
+/// A finite relational structure: a domain `{0, …, n-1}` and a family of
+/// named relations, each with a fixed arity.
+///
+/// Relations are stored as hash sets of tuples; relation names are kept in a
+/// sorted map so that iteration order (and therefore canonical textual forms)
+/// is deterministic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Structure {
+    domain_size: usize,
+    relations: BTreeMap<String, Relation>,
+}
+
+/// A single relation of a structure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Relation {
+    arity: usize,
+    tuples: HashSet<Vec<u32>>,
+}
+
+impl Relation {
+    /// The arity of the relation.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True iff the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, tuple: &[u32]) -> bool {
+        self.tuples.contains(tuple)
+    }
+
+    /// Iterates over the tuples in an unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &Vec<u32>> {
+        self.tuples.iter()
+    }
+
+    /// The tuples in sorted order (deterministic).
+    pub fn sorted_tuples(&self) -> Vec<Vec<u32>> {
+        let mut out: Vec<Vec<u32>> = self.tuples.iter().cloned().collect();
+        out.sort();
+        out
+    }
+}
+
+impl Structure {
+    /// Creates a structure with the given domain size and no relations.
+    pub fn new(domain_size: usize) -> Self {
+        Structure { domain_size, relations: BTreeMap::new() }
+    }
+
+    /// The domain size `n`; elements are `0, …, n-1`.
+    pub fn domain_size(&self) -> usize {
+        self.domain_size
+    }
+
+    /// Grows the domain to at least `size` elements.
+    pub fn ensure_domain(&mut self, size: usize) {
+        self.domain_size = self.domain_size.max(size);
+    }
+
+    /// Declares a relation with the given arity (idempotent).
+    ///
+    /// # Panics
+    /// Panics if the relation exists with a different arity.
+    pub fn add_relation(&mut self, name: &str, arity: usize) {
+        let entry = self
+            .relations
+            .entry(name.to_string())
+            .or_insert_with(|| Relation { arity, tuples: HashSet::new() });
+        assert_eq!(entry.arity, arity, "relation {name} redeclared with different arity");
+    }
+
+    /// Inserts a tuple, declaring the relation if necessary.
+    ///
+    /// # Panics
+    /// Panics if the tuple's length does not match the relation's arity or if
+    /// an element is outside the domain.
+    pub fn insert(&mut self, name: &str, tuple: &[u32]) {
+        for &x in tuple {
+            assert!(
+                (x as usize) < self.domain_size,
+                "element {x} outside domain of size {}",
+                self.domain_size
+            );
+        }
+        let entry = self
+            .relations
+            .entry(name.to_string())
+            .or_insert_with(|| Relation { arity: tuple.len(), tuples: HashSet::new() });
+        assert_eq!(entry.arity, tuple.len(), "tuple arity mismatch for relation {name}");
+        entry.tuples.insert(tuple.to_vec());
+    }
+
+    /// Membership test; unknown relations contain nothing.
+    pub fn contains(&self, name: &str, tuple: &[u32]) -> bool {
+        self.relations.get(name).is_some_and(|r| r.contains(tuple))
+    }
+
+    /// The relation with the given name, if declared.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Arity of a relation, if declared.
+    pub fn arity(&self, name: &str) -> Option<usize> {
+        self.relations.get(name).map(|r| r.arity)
+    }
+
+    /// Names of all declared relations, in sorted order.
+    pub fn relation_names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(|s| s.as_str())
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn tuple_count(&self) -> usize {
+        self.relations.values().map(|r| r.len()).sum()
+    }
+
+    /// Removes a relation entirely (used by the Datalog engine to reset
+    /// derived relations).
+    pub fn remove_relation(&mut self, name: &str) {
+        self.relations.remove(name);
+    }
+
+    /// The elements of the domain.
+    pub fn domain(&self) -> impl Iterator<Item = u32> {
+        0..self.domain_size as u32
+    }
+
+    /// A deterministic textual fingerprint of the structure (domain size plus
+    /// all relations with sorted tuples). Two structures have equal
+    /// fingerprints iff they are identical (not merely isomorphic).
+    pub fn fingerprint(&self) -> String {
+        let mut out = format!("domain={};", self.domain_size);
+        for (name, rel) in &self.relations {
+            out.push_str(name);
+            out.push('/');
+            out.push_str(&rel.arity.to_string());
+            out.push('{');
+            for tuple in rel.sorted_tuples() {
+                out.push('(');
+                for (i, x) in tuple.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&x.to_string());
+                }
+                out.push(')');
+            }
+            out.push('}');
+        }
+        out
+    }
+
+    /// Adds the standard arithmetic scaffolding on a numeric copy of the
+    /// domain: elements `0..domain_size` get relations `Zero`, `MaxNum`,
+    /// `Succ`, `NumLess`, `Even`. This is the auxiliary ordered domain that
+    /// fixpoint+counting queries count into.
+    pub fn add_numeric_relations(&mut self) {
+        let n = self.domain_size;
+        self.add_relation("Zero", 1);
+        self.add_relation("MaxNum", 1);
+        self.add_relation("Succ", 2);
+        self.add_relation("NumLess", 2);
+        self.add_relation("Even", 1);
+        if n == 0 {
+            return;
+        }
+        self.insert("Zero", &[0]);
+        self.insert("MaxNum", &[(n - 1) as u32]);
+        for i in 0..n as u32 {
+            if i % 2 == 0 {
+                self.insert("Even", &[i]);
+            }
+            if (i as usize) + 1 < n {
+                self.insert("Succ", &[i, i + 1]);
+            }
+            for j in (i + 1)..n as u32 {
+                self.insert("NumLess", &[i, j]);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Structure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "structure with {} elements", self.domain_size)?;
+        for (name, rel) in &self.relations {
+            writeln!(f, "  {name}/{} ({} tuples)", rel.arity, rel.len())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = Structure::new(3);
+        s.insert("E", &[0, 1]);
+        s.insert("E", &[1, 2]);
+        assert!(s.contains("E", &[0, 1]));
+        assert!(!s.contains("E", &[2, 1]));
+        assert!(!s.contains("F", &[0]));
+        assert_eq!(s.arity("E"), Some(2));
+        assert_eq!(s.tuple_count(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut s = Structure::new(3);
+        s.insert("E", &[0, 1]);
+        s.insert("E", &[0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_domain_panics() {
+        let mut s = Structure::new(2);
+        s.insert("E", &[5, 0]);
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_discriminating() {
+        let mut a = Structure::new(2);
+        a.insert("R", &[0]);
+        let mut b = Structure::new(2);
+        b.insert("R", &[0]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.insert("R", &[1]);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn numeric_relations() {
+        let mut s = Structure::new(4);
+        s.add_numeric_relations();
+        assert!(s.contains("Zero", &[0]));
+        assert!(s.contains("MaxNum", &[3]));
+        assert!(s.contains("Succ", &[1, 2]));
+        assert!(s.contains("NumLess", &[0, 3]));
+        assert!(s.contains("Even", &[2]));
+        assert!(!s.contains("Even", &[1]));
+        assert_eq!(s.relation("NumLess").unwrap().len(), 6);
+    }
+
+    #[test]
+    fn sorted_tuples_deterministic() {
+        let mut s = Structure::new(3);
+        s.insert("E", &[2, 1]);
+        s.insert("E", &[0, 1]);
+        assert_eq!(s.relation("E").unwrap().sorted_tuples(), vec![vec![0, 1], vec![2, 1]]);
+    }
+}

@@ -1,0 +1,354 @@
+//! Direct evaluation of topological `FO(P, <x, <y)` sentences.
+//!
+//! This is evaluation strategy (i) of the paper's practical-considerations
+//! section: work on the raw spatial data, with no invariant. For semi-linear
+//! instances, quantifier elimination over the reals is replaced by a finite
+//! *sample-point structure*: one sample per cell of the instance's
+//! arrangement (every vertex, the midpoint of every edge, an interior point
+//! of every bounded face, plus one point of the exterior face). For
+//! topological sentences the truth value only depends on which cell a point
+//! lies in, so quantifiers may range over the samples; this substitution is
+//! recorded in DESIGN.md.
+//!
+//! The cost of this strategy is what the paper predicts: it is polynomial in
+//! the size of the *raw data* (and exponential in the quantifier depth), which
+//! is exactly why querying the much smaller invariant is attractive.
+
+use crate::fo_point::{PointFormula, PointVar};
+use crate::instance::SpatialInstance;
+use std::collections::HashMap;
+use topo_arrangement::{build_arrangement, Arrangement, FaceId};
+use topo_geometry::{Point, Rational};
+
+/// The finite structure over which direct evaluation quantifies.
+#[derive(Clone, Debug)]
+pub struct SamplePointStructure {
+    /// One sample point per arrangement cell (plus one for the exterior).
+    pub points: Vec<Point>,
+    /// `membership[i][r]` is true iff sample `i` belongs to region `r`.
+    pub membership: Vec<Vec<bool>>,
+}
+
+impl SamplePointStructure {
+    /// Number of sample points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True iff there are no sample points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// Computes the sample-point structure of an instance.
+pub fn sample_points(instance: &SpatialInstance) -> SamplePointStructure {
+    let arrangement = build_arrangement(&instance.to_arrangement_input());
+    let mut points: Vec<Point> = Vec::new();
+    points.extend(arrangement.vertices.iter().copied());
+    for e in &arrangement.edges {
+        points.push(arrangement.vertices[e.v1].midpoint(&arrangement.vertices[e.v2]));
+    }
+    for face in 0..arrangement.face_count() {
+        if arrangement.faces[face].bounded {
+            if let Some(p) = face_interior_point(&arrangement, face) {
+                points.push(p);
+            }
+        }
+    }
+    points.push(exterior_point(&arrangement));
+    let membership = points
+        .iter()
+        .map(|p| instance.iter().map(|(_, region)| region.contains_point(p)).collect())
+        .collect();
+    SamplePointStructure { points, membership }
+}
+
+/// A point of the unbounded face: anything beyond the bounding box of all
+/// vertices.
+fn exterior_point(arrangement: &Arrangement) -> Point {
+    let mut max_x = Rational::ZERO;
+    let mut max_y = Rational::ZERO;
+    for p in &arrangement.vertices {
+        max_x = max_x.max(p.x);
+        max_y = max_y.max(p.y);
+    }
+    Point::new(max_x + Rational::ONE, max_y + Rational::ONE)
+}
+
+/// An exact interior point of a bounded face: the midpoint of one of its
+/// boundary edges, pushed into the face by half the distance to the first
+/// other edge hit by the inward normal ray.
+pub fn face_interior_point(arrangement: &Arrangement, face: FaceId) -> Option<Point> {
+    let boundary = &arrangement.faces[face].boundary_edges;
+    let edge_id = *boundary.iter().find(|&&e| {
+        arrangement.edges[e].face_left == face || arrangement.edges[e].face_right == face
+    })?;
+    let edge = &arrangement.edges[edge_id];
+    let a = arrangement.vertices[edge.v1];
+    let b = arrangement.vertices[edge.v2];
+    let m = a.midpoint(&b);
+    let (dx, dy) = b.sub(&a);
+    // Normal pointing into `face`.
+    let (nx, ny) = if edge.face_left == face { (-dy, dx) } else { (dy, -dx) };
+    let mut t_min: Option<Rational> = None;
+    for (other_id, other) in arrangement.edges.iter().enumerate() {
+        if other_id == edge_id {
+            continue;
+        }
+        let p = arrangement.vertices[other.v1];
+        let q = arrangement.vertices[other.v2];
+        if let Some(t) = ray_segment_parameter(&m, nx, ny, &p, &q) {
+            if t.signum() > 0 && t_min.as_ref().map_or(true, |cur| t < *cur) {
+                t_min = Some(t);
+            }
+        }
+    }
+    let t = t_min?;
+    let half = t / Rational::from_int(2);
+    Some(Point::new(m.x + nx * half, m.y + ny * half))
+}
+
+/// Smallest positive parameter `t` such that `origin + t·(nx, ny)` lies on the
+/// closed segment `[p, q]`, if any.
+fn ray_segment_parameter(
+    origin: &Point,
+    nx: Rational,
+    ny: Rational,
+    p: &Point,
+    q: &Point,
+) -> Option<Rational> {
+    let dx = q.x - p.x;
+    let dy = q.y - p.y;
+    let denom = nx * dy - ny * dx;
+    let px = p.x - origin.x;
+    let py = p.y - origin.y;
+    if !denom.is_zero() {
+        let t = (px * dy - py * dx) / denom;
+        let s = (px * ny - py * nx) / denom;
+        if t.signum() > 0 && s.signum() >= 0 && s <= Rational::ONE {
+            Some(t)
+        } else {
+            None
+        }
+    } else {
+        // Parallel: only relevant when collinear with the ray.
+        if !(px * ny - py * nx).is_zero() {
+            return None;
+        }
+        let norm = nx * nx + ny * ny;
+        let tp = (px * nx + py * ny) / norm;
+        let qx = q.x - origin.x;
+        let qy = q.y - origin.y;
+        let tq = (qx * nx + qy * ny) / norm;
+        [tp, tq].into_iter().filter(|t| t.signum() > 0).min()
+    }
+}
+
+/// Evaluates `FO(P, <x, <y)` formulas directly on a spatial instance.
+pub struct DirectEvaluator {
+    samples: SamplePointStructure,
+}
+
+impl DirectEvaluator {
+    /// Builds the evaluator (computes the arrangement and the samples).
+    pub fn new(instance: &SpatialInstance) -> Self {
+        DirectEvaluator { samples: sample_points(instance) }
+    }
+
+    /// Builds the evaluator from precomputed samples.
+    pub fn from_samples(samples: SamplePointStructure) -> Self {
+        DirectEvaluator { samples }
+    }
+
+    /// The underlying sample structure.
+    pub fn samples(&self) -> &SamplePointStructure {
+        &self.samples
+    }
+
+    /// Evaluates a sentence.
+    ///
+    /// # Panics
+    /// Panics if the formula has free variables.
+    pub fn evaluate(&self, formula: &PointFormula) -> bool {
+        assert!(formula.is_sentence(), "direct evaluation requires a sentence");
+        self.eval(formula, &mut HashMap::new())
+    }
+
+    fn eval(&self, formula: &PointFormula, assignment: &mut HashMap<PointVar, usize>) -> bool {
+        match formula {
+            PointFormula::InRegion { region, var } => {
+                let idx = assignment[var];
+                self.samples.membership[idx][*region]
+            }
+            PointFormula::LessX(a, b) => {
+                self.samples.points[assignment[a]].x < self.samples.points[assignment[b]].x
+            }
+            PointFormula::LessY(a, b) => {
+                self.samples.points[assignment[a]].y < self.samples.points[assignment[b]].y
+            }
+            PointFormula::Eq(a, b) => {
+                self.samples.points[assignment[a]] == self.samples.points[assignment[b]]
+            }
+            PointFormula::Not(f) => !self.eval(f, assignment),
+            PointFormula::And(fs) => fs.iter().all(|f| self.eval(f, assignment)),
+            PointFormula::Or(fs) => fs.iter().any(|f| self.eval(f, assignment)),
+            PointFormula::Exists(v, f) => {
+                let previous = assignment.get(v).copied();
+                let mut result = false;
+                for idx in 0..self.samples.len() {
+                    assignment.insert(*v, idx);
+                    if self.eval(f, assignment) {
+                        result = true;
+                        break;
+                    }
+                }
+                restore(assignment, *v, previous);
+                result
+            }
+            PointFormula::Forall(v, f) => {
+                let previous = assignment.get(v).copied();
+                let mut result = true;
+                for idx in 0..self.samples.len() {
+                    assignment.insert(*v, idx);
+                    if !self.eval(f, assignment) {
+                        result = false;
+                        break;
+                    }
+                }
+                restore(assignment, *v, previous);
+                result
+            }
+        }
+    }
+}
+
+fn restore(assignment: &mut HashMap<PointVar, usize>, var: PointVar, previous: Option<usize>) {
+    match previous {
+        Some(idx) => {
+            assignment.insert(var, idx);
+        }
+        None => {
+            assignment.remove(&var);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::Region;
+    use crate::schema::Schema;
+
+    fn two_region_instance() -> SpatialInstance {
+        // P: big square, Q: small square inside P.
+        let mut instance = SpatialInstance::new(Schema::from_names(["P", "Q"]));
+        instance.set_region(0, Region::rectangle(0, 0, 100, 100));
+        instance.set_region(1, Region::rectangle(20, 20, 40, 40));
+        instance
+    }
+
+    fn contained(inner: usize, outer: usize) -> PointFormula {
+        PointFormula::Forall(
+            0,
+            Box::new(
+                PointFormula::InRegion { region: inner, var: 0 }
+                    .implies(PointFormula::InRegion { region: outer, var: 0 }),
+            ),
+        )
+    }
+
+    fn intersects(a: usize, b: usize) -> PointFormula {
+        PointFormula::Exists(
+            0,
+            Box::new(PointFormula::And(vec![
+                PointFormula::InRegion { region: a, var: 0 },
+                PointFormula::InRegion { region: b, var: 0 },
+            ])),
+        )
+    }
+
+    #[test]
+    fn sample_structure_covers_all_cells() {
+        let instance = two_region_instance();
+        let samples = sample_points(&instance);
+        // 8 vertices + 8 edge midpoints + 2 bounded faces + 1 exterior point.
+        assert_eq!(samples.len(), 19);
+        // At least one sample is in Q (and hence in P), and at least one is in
+        // P but not Q, and at least one is outside both.
+        assert!(samples.membership.iter().any(|m| m[0] && m[1]));
+        assert!(samples.membership.iter().any(|m| m[0] && !m[1]));
+        assert!(samples.membership.iter().any(|m| !m[0] && !m[1]));
+    }
+
+    #[test]
+    fn containment_query() {
+        let instance = two_region_instance();
+        let eval = DirectEvaluator::new(&instance);
+        assert!(eval.evaluate(&contained(1, 0)));
+        assert!(!eval.evaluate(&contained(0, 1)));
+    }
+
+    #[test]
+    fn intersection_query() {
+        let instance = two_region_instance();
+        let eval = DirectEvaluator::new(&instance);
+        assert!(eval.evaluate(&intersects(0, 1)));
+
+        let mut disjoint = SpatialInstance::new(Schema::from_names(["P", "Q"]));
+        disjoint.set_region(0, Region::rectangle(0, 0, 10, 10));
+        disjoint.set_region(1, Region::rectangle(20, 0, 30, 10));
+        let eval = DirectEvaluator::new(&disjoint);
+        assert!(!eval.evaluate(&intersects(0, 1)));
+    }
+
+    #[test]
+    fn boundary_only_intersection() {
+        // P and Q share exactly one boundary edge.
+        let mut instance = SpatialInstance::new(Schema::from_names(["P", "Q"]));
+        instance.set_region(0, Region::rectangle(0, 0, 10, 10));
+        instance.set_region(1, Region::rectangle(10, 0, 20, 10));
+        let eval = DirectEvaluator::new(&instance);
+        assert!(eval.evaluate(&intersects(0, 1)));
+        // There is no point in the interior of both.
+        let interior_overlap = PointFormula::Exists(
+            0,
+            Box::new(PointFormula::And(vec![
+                PointFormula::InRegion { region: 0, var: 0 },
+                PointFormula::InRegion { region: 1, var: 0 },
+                // Strictly inside both: there are points of both regions in
+                // every direction — approximated here by asking for a point of
+                // the intersection that is not <x-extremal among intersection
+                // points, which fails when the intersection is a vertical
+                // segment shared by the boundaries only.
+                PointFormula::Exists(
+                    1,
+                    Box::new(PointFormula::And(vec![
+                        PointFormula::InRegion { region: 0, var: 1 },
+                        PointFormula::InRegion { region: 1, var: 1 },
+                        PointFormula::LessX(1, 0),
+                    ])),
+                ),
+            ])),
+        );
+        assert!(!eval.evaluate(&interior_overlap));
+    }
+
+    #[test]
+    fn face_interior_points_are_inside() {
+        let instance = two_region_instance();
+        let arrangement = build_arrangement(&instance.to_arrangement_input());
+        for face in 0..arrangement.face_count() {
+            if !arrangement.faces[face].bounded {
+                continue;
+            }
+            let p = face_interior_point(&arrangement, face).expect("interior point exists");
+            // The point must not lie on any edge.
+            for e in &arrangement.edges {
+                let a = arrangement.vertices[e.v1];
+                let b = arrangement.vertices[e.v2];
+                assert!(!topo_geometry::point_on_segment(&p, &a, &b));
+            }
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! The point-based spatial query language `FO(P, <x, <y)`.
+//!
+//! Variables range over points of the plane; atoms are region membership of a
+//! point, the two coordinate orders `<x` and `<y`, and point equality. The
+//! paper shows (after [PSV99]) that this language expresses exactly the same
+//! *topological* properties as `FO(R,<)`, and all of Section 4's translation
+//! machinery works through it, so the query library of `topo-queries` is
+//! written in this language and lifted to `FO(R,<)` when needed.
+
+use crate::fo_real::{RealFormula, RealVar};
+use crate::schema::{RegionId, Schema};
+use std::fmt;
+
+/// A point-valued variable, identified by an index.
+pub type PointVar = u32;
+
+/// An `FO(P, <x, <y)` formula.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PointFormula {
+    /// `R(p)`: the point `p` belongs to region `R`.
+    InRegion {
+        /// The region name.
+        region: RegionId,
+        /// The point variable.
+        var: PointVar,
+    },
+    /// `p <x q`: the x coordinate of `p` is smaller than that of `q`.
+    LessX(PointVar, PointVar),
+    /// `p <y q`: the y coordinate of `p` is smaller than that of `q`.
+    LessY(PointVar, PointVar),
+    /// `p = q`.
+    Eq(PointVar, PointVar),
+    /// Negation.
+    Not(Box<PointFormula>),
+    /// Conjunction (true when empty).
+    And(Vec<PointFormula>),
+    /// Disjunction (false when empty).
+    Or(Vec<PointFormula>),
+    /// Existential quantification over a point variable.
+    Exists(PointVar, Box<PointFormula>),
+    /// Universal quantification over a point variable.
+    Forall(PointVar, Box<PointFormula>),
+}
+
+impl PointFormula {
+    /// `φ → ψ`, written as `¬φ ∨ ψ`.
+    pub fn implies(self, other: PointFormula) -> PointFormula {
+        PointFormula::Or(vec![PointFormula::Not(Box::new(self)), other])
+    }
+
+    /// Quantifier depth.
+    pub fn quantifier_depth(&self) -> usize {
+        match self {
+            PointFormula::InRegion { .. }
+            | PointFormula::LessX(..)
+            | PointFormula::LessY(..)
+            | PointFormula::Eq(..) => 0,
+            PointFormula::Not(f) => f.quantifier_depth(),
+            PointFormula::And(fs) | PointFormula::Or(fs) => {
+                fs.iter().map(|f| f.quantifier_depth()).max().unwrap_or(0)
+            }
+            PointFormula::Exists(_, f) | PointFormula::Forall(_, f) => 1 + f.quantifier_depth(),
+        }
+    }
+
+    /// Size of the formula (number of AST nodes).
+    pub fn size(&self) -> usize {
+        match self {
+            PointFormula::InRegion { .. }
+            | PointFormula::LessX(..)
+            | PointFormula::LessY(..)
+            | PointFormula::Eq(..) => 1,
+            PointFormula::Not(f) => 1 + f.size(),
+            PointFormula::And(fs) | PointFormula::Or(fs) => {
+                1 + fs.iter().map(|f| f.size()).sum::<usize>()
+            }
+            PointFormula::Exists(_, f) | PointFormula::Forall(_, f) => 1 + f.size(),
+        }
+    }
+
+    /// Free variables.
+    pub fn free_vars(&self) -> Vec<PointVar> {
+        let mut out = Vec::new();
+        self.collect_free(&mut Vec::new(), &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_free(&self, bound: &mut Vec<PointVar>, out: &mut Vec<PointVar>) {
+        match self {
+            PointFormula::InRegion { var, .. } => {
+                if !bound.contains(var) {
+                    out.push(*var);
+                }
+            }
+            PointFormula::LessX(a, b) | PointFormula::LessY(a, b) | PointFormula::Eq(a, b) => {
+                for v in [a, b] {
+                    if !bound.contains(v) {
+                        out.push(*v);
+                    }
+                }
+            }
+            PointFormula::Not(f) => f.collect_free(bound, out),
+            PointFormula::And(fs) | PointFormula::Or(fs) => {
+                for f in fs {
+                    f.collect_free(bound, out);
+                }
+            }
+            PointFormula::Exists(v, f) | PointFormula::Forall(v, f) => {
+                bound.push(*v);
+                f.collect_free(bound, out);
+                bound.pop();
+            }
+        }
+    }
+
+    /// True iff the formula is a sentence.
+    pub fn is_sentence(&self) -> bool {
+        self.free_vars().is_empty()
+    }
+
+    /// Translates the formula into `FO(R,<)`: every point variable `p`
+    /// becomes the pair of real variables `(2p, 2p + 1)` holding its x and y
+    /// coordinates. The translation is linear in the size of the formula, as
+    /// used by the paper when moving between the two spatial languages.
+    pub fn to_real(&self) -> RealFormula {
+        let xv = |p: PointVar| -> RealVar { 2 * p };
+        let yv = |p: PointVar| -> RealVar { 2 * p + 1 };
+        match self {
+            PointFormula::InRegion { region, var } => {
+                RealFormula::Region { region: *region, x: xv(*var), y: yv(*var) }
+            }
+            PointFormula::LessX(a, b) => RealFormula::Less(xv(*a), xv(*b)),
+            PointFormula::LessY(a, b) => RealFormula::Less(yv(*a), yv(*b)),
+            PointFormula::Eq(a, b) => RealFormula::And(vec![
+                RealFormula::Eq(xv(*a), xv(*b)),
+                RealFormula::Eq(yv(*a), yv(*b)),
+            ]),
+            PointFormula::Not(f) => RealFormula::Not(Box::new(f.to_real())),
+            PointFormula::And(fs) => RealFormula::And(fs.iter().map(|f| f.to_real()).collect()),
+            PointFormula::Or(fs) => RealFormula::Or(fs.iter().map(|f| f.to_real()).collect()),
+            PointFormula::Exists(v, f) => RealFormula::Exists(
+                xv(*v),
+                Box::new(RealFormula::Exists(yv(*v), Box::new(f.to_real()))),
+            ),
+            PointFormula::Forall(v, f) => RealFormula::Forall(
+                xv(*v),
+                Box::new(RealFormula::Forall(yv(*v), Box::new(f.to_real()))),
+            ),
+        }
+    }
+
+    /// Renders the formula with region names taken from `schema`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> PointFormulaDisplay<'a> {
+        PointFormulaDisplay { formula: self, schema }
+    }
+}
+
+/// Helper implementing [`fmt::Display`] for a formula with a schema.
+pub struct PointFormulaDisplay<'a> {
+    formula: &'a PointFormula,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for PointFormulaDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(formula: &PointFormula, schema: &Schema, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match formula {
+                PointFormula::InRegion { region, var } => {
+                    write!(f, "{}(p{})", schema.name(*region), var)
+                }
+                PointFormula::LessX(a, b) => write!(f, "p{a} <x p{b}"),
+                PointFormula::LessY(a, b) => write!(f, "p{a} <y p{b}"),
+                PointFormula::Eq(a, b) => write!(f, "p{a} = p{b}"),
+                PointFormula::Not(inner) => {
+                    write!(f, "¬(")?;
+                    go(inner, schema, f)?;
+                    write!(f, ")")
+                }
+                PointFormula::And(fs) => {
+                    write!(f, "(")?;
+                    for (i, inner) in fs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " ∧ ")?;
+                        }
+                        go(inner, schema, f)?;
+                    }
+                    write!(f, ")")
+                }
+                PointFormula::Or(fs) => {
+                    write!(f, "(")?;
+                    for (i, inner) in fs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " ∨ ")?;
+                        }
+                        go(inner, schema, f)?;
+                    }
+                    write!(f, ")")
+                }
+                PointFormula::Exists(v, inner) => {
+                    write!(f, "∃p{v} ")?;
+                    go(inner, schema, f)
+                }
+                PointFormula::Forall(v, inner) => {
+                    write!(f, "∀p{v} ")?;
+                    go(inner, schema, f)
+                }
+            }
+        }
+        go(self.formula, self.schema, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn containment_formula() -> PointFormula {
+        // ∀p (P(p) → Q(p))
+        PointFormula::Forall(
+            0,
+            Box::new(
+                PointFormula::InRegion { region: 0, var: 0 }
+                    .implies(PointFormula::InRegion { region: 1, var: 0 }),
+            ),
+        )
+    }
+
+    #[test]
+    fn depth_size_sentence() {
+        let f = containment_formula();
+        assert_eq!(f.quantifier_depth(), 1);
+        assert!(f.is_sentence());
+        assert_eq!(f.free_vars(), Vec::<PointVar>::new());
+    }
+
+    #[test]
+    fn to_real_doubles_quantifier_depth() {
+        let f = containment_formula();
+        let real = f.to_real();
+        assert_eq!(real.quantifier_depth(), 2);
+        assert!(real.is_sentence());
+    }
+
+    #[test]
+    fn free_vars_in_open_formula() {
+        let f = PointFormula::And(vec![
+            PointFormula::LessX(0, 1),
+            PointFormula::Exists(1, Box::new(PointFormula::Eq(1, 2))),
+        ]);
+        assert_eq!(f.free_vars(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn display_readable() {
+        let schema = Schema::from_names(["P", "Q"]);
+        let rendered = format!("{}", containment_formula().display(&schema));
+        assert!(rendered.contains("P(p0)"));
+        assert!(rendered.contains("Q(p0)"));
+    }
+}

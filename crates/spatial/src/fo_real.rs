@@ -1,0 +1,225 @@
+//! The spatial query language `FO(R, <)`.
+//!
+//! First-order logic over real-valued variables, with one binary predicate
+//! per region name (membership of the point `(x, y)` in the region) and the
+//! order `<` on coordinates. This is the constraint-database query language
+//! the paper takes as the source language of all translations.
+//!
+//! The crate only *represents* `FO(R,<)` queries (and measures them: size,
+//! quantifier depth); evaluation goes through either
+//!
+//! * the point-based language [`crate::fo_point::PointFormula`] and the
+//!   sample-point evaluator (direct strategy), or
+//! * the invariant-side translations of the `topo-translate` crate.
+
+use crate::schema::{RegionId, Schema};
+use std::fmt;
+
+/// A real-valued variable, identified by an index.
+pub type RealVar = u32;
+
+/// An `FO(R, <)` formula.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RealFormula {
+    /// `R(x, y)`: the point whose coordinates are the values of `x` and `y`
+    /// belongs to region `R`.
+    Region {
+        /// The region name.
+        region: RegionId,
+        /// Variable holding the x coordinate.
+        x: RealVar,
+        /// Variable holding the y coordinate.
+        y: RealVar,
+    },
+    /// `x < y` on the reals.
+    Less(RealVar, RealVar),
+    /// `x = y` on the reals.
+    Eq(RealVar, RealVar),
+    /// Negation.
+    Not(Box<RealFormula>),
+    /// Conjunction of all sub-formulas (true when empty).
+    And(Vec<RealFormula>),
+    /// Disjunction of all sub-formulas (false when empty).
+    Or(Vec<RealFormula>),
+    /// Existential quantification over a real variable.
+    Exists(RealVar, Box<RealFormula>),
+    /// Universal quantification over a real variable.
+    Forall(RealVar, Box<RealFormula>),
+}
+
+impl RealFormula {
+    /// Quantifier depth, as defined in the paper's preliminaries.
+    pub fn quantifier_depth(&self) -> usize {
+        match self {
+            RealFormula::Region { .. } | RealFormula::Less(..) | RealFormula::Eq(..) => 0,
+            RealFormula::Not(f) => f.quantifier_depth(),
+            RealFormula::And(fs) | RealFormula::Or(fs) => {
+                fs.iter().map(|f| f.quantifier_depth()).max().unwrap_or(0)
+            }
+            RealFormula::Exists(_, f) | RealFormula::Forall(_, f) => 1 + f.quantifier_depth(),
+        }
+    }
+
+    /// Size of the formula (number of AST nodes), the measure used by the
+    /// linear-time translation results (Theorems 4.1 and 4.2).
+    pub fn size(&self) -> usize {
+        match self {
+            RealFormula::Region { .. } | RealFormula::Less(..) | RealFormula::Eq(..) => 1,
+            RealFormula::Not(f) => 1 + f.size(),
+            RealFormula::And(fs) | RealFormula::Or(fs) => {
+                1 + fs.iter().map(|f| f.size()).sum::<usize>()
+            }
+            RealFormula::Exists(_, f) | RealFormula::Forall(_, f) => 1 + f.size(),
+        }
+    }
+
+    /// Free variables of the formula.
+    pub fn free_vars(&self) -> Vec<RealVar> {
+        let mut out = Vec::new();
+        self.collect_free(&mut Vec::new(), &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_free(&self, bound: &mut Vec<RealVar>, out: &mut Vec<RealVar>) {
+        match self {
+            RealFormula::Region { x, y, .. } => {
+                for v in [x, y] {
+                    if !bound.contains(v) {
+                        out.push(*v);
+                    }
+                }
+            }
+            RealFormula::Less(a, b) | RealFormula::Eq(a, b) => {
+                for v in [a, b] {
+                    if !bound.contains(v) {
+                        out.push(*v);
+                    }
+                }
+            }
+            RealFormula::Not(f) => f.collect_free(bound, out),
+            RealFormula::And(fs) | RealFormula::Or(fs) => {
+                for f in fs {
+                    f.collect_free(bound, out);
+                }
+            }
+            RealFormula::Exists(v, f) | RealFormula::Forall(v, f) => {
+                bound.push(*v);
+                f.collect_free(bound, out);
+                bound.pop();
+            }
+        }
+    }
+
+    /// True iff the formula is a sentence (no free variables).
+    pub fn is_sentence(&self) -> bool {
+        self.free_vars().is_empty()
+    }
+
+    /// Renders the formula with region names taken from `schema`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> RealFormulaDisplay<'a> {
+        RealFormulaDisplay { formula: self, schema }
+    }
+}
+
+/// Helper implementing [`fmt::Display`] for a formula with a schema.
+pub struct RealFormulaDisplay<'a> {
+    formula: &'a RealFormula,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for RealFormulaDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(formula: &RealFormula, schema: &Schema, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match formula {
+                RealFormula::Region { region, x, y } => {
+                    write!(f, "{}(r{}, r{})", schema.name(*region), x, y)
+                }
+                RealFormula::Less(a, b) => write!(f, "r{a} < r{b}"),
+                RealFormula::Eq(a, b) => write!(f, "r{a} = r{b}"),
+                RealFormula::Not(inner) => {
+                    write!(f, "¬(")?;
+                    go(inner, schema, f)?;
+                    write!(f, ")")
+                }
+                RealFormula::And(fs) => {
+                    write!(f, "(")?;
+                    for (i, inner) in fs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " ∧ ")?;
+                        }
+                        go(inner, schema, f)?;
+                    }
+                    write!(f, ")")
+                }
+                RealFormula::Or(fs) => {
+                    write!(f, "(")?;
+                    for (i, inner) in fs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " ∨ ")?;
+                        }
+                        go(inner, schema, f)?;
+                    }
+                    write!(f, ")")
+                }
+                RealFormula::Exists(v, inner) => {
+                    write!(f, "∃r{v} ")?;
+                    go(inner, schema, f)
+                }
+                RealFormula::Forall(v, inner) => {
+                    write!(f, "∀r{v} ")?;
+                    go(inner, schema, f)
+                }
+            }
+        }
+        go(self.formula, self.schema, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RealFormula {
+        // ∀x ∀y (P(x,y) → Q(x,y)), written without implication sugar.
+        RealFormula::Forall(
+            0,
+            Box::new(RealFormula::Forall(
+                1,
+                Box::new(RealFormula::Or(vec![
+                    RealFormula::Not(Box::new(RealFormula::Region { region: 0, x: 0, y: 1 })),
+                    RealFormula::Region { region: 1, x: 0, y: 1 },
+                ])),
+            )),
+        )
+    }
+
+    #[test]
+    fn depth_and_size() {
+        let f = sample();
+        assert_eq!(f.quantifier_depth(), 2);
+        assert_eq!(f.size(), 6);
+        assert!(f.is_sentence());
+    }
+
+    #[test]
+    fn free_vars_tracking() {
+        let open = RealFormula::And(vec![
+            RealFormula::Less(0, 1),
+            RealFormula::Exists(1, Box::new(RealFormula::Eq(1, 2))),
+        ]);
+        assert_eq!(open.free_vars(), vec![0, 1, 2]);
+        assert!(!open.is_sentence());
+    }
+
+    #[test]
+    fn display_uses_region_names() {
+        let schema = Schema::from_names(["P", "Q"]);
+        let f = sample();
+        let rendered = format!("{}", f.display(&schema));
+        assert!(rendered.contains("P(r0, r1)"));
+        assert!(rendered.contains("Q(r0, r1)"));
+        assert!(rendered.starts_with("∀r0"));
+    }
+}

@@ -1,0 +1,203 @@
+//! Spatial instances: assignments of regions to the names of a schema.
+
+use crate::region::Region;
+use crate::schema::{RegionId, Schema};
+use topo_arrangement::ArrangementInput;
+
+/// What kind of geometric piece a source tag refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SourceKind {
+    /// A segment of a polygon ring (contributes to the region's 2-D boundary,
+    /// with even–odd multiplicity).
+    RingBoundary,
+    /// A segment of a polyline (a 1-D piece of the region).
+    Polyline,
+    /// An isolated point of the region.
+    IsolatedPoint,
+}
+
+/// A source tag carried through the arrangement: which region contributed the
+/// piece of geometry and as what kind of piece.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SourceTag {
+    /// The region that contributed the geometry.
+    pub region: RegionId,
+    /// The kind of contribution.
+    pub kind: SourceKind,
+}
+
+impl SourceTag {
+    /// Packs the tag into the `u32` the arrangement crate carries around.
+    pub fn encode(&self) -> u32 {
+        let kind = match self.kind {
+            SourceKind::RingBoundary => 0u32,
+            SourceKind::Polyline => 1,
+            SourceKind::IsolatedPoint => 2,
+        };
+        (self.region as u32) * 3 + kind
+    }
+
+    /// Unpacks a tag produced by [`SourceTag::encode`].
+    pub fn decode(raw: u32) -> Self {
+        let kind = match raw % 3 {
+            0 => SourceKind::RingBoundary,
+            1 => SourceKind::Polyline,
+            _ => SourceKind::IsolatedPoint,
+        };
+        SourceTag { region: (raw / 3) as RegionId, kind }
+    }
+}
+
+/// A spatial database instance over a schema: one region per region name.
+#[derive(Clone, Debug, Default)]
+pub struct SpatialInstance {
+    schema: Schema,
+    regions: Vec<Region>,
+}
+
+impl SpatialInstance {
+    /// Creates an instance with empty regions for every name of the schema.
+    pub fn new(schema: Schema) -> Self {
+        let regions = vec![Region::new(); schema.len()];
+        SpatialInstance { schema, regions }
+    }
+
+    /// Builds an instance from `(name, region)` pairs.
+    pub fn from_regions<I, S>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (S, Region)>,
+        S: Into<String>,
+    {
+        let mut schema = Schema::new();
+        let mut regions = Vec::new();
+        for (name, region) in pairs {
+            schema.add(name);
+            regions.push(region);
+        }
+        SpatialInstance { schema, regions }
+    }
+
+    /// The schema of the instance.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The region assigned to `id`.
+    pub fn region(&self, id: RegionId) -> &Region {
+        &self.regions[id]
+    }
+
+    /// The region assigned to `name`, if the name exists.
+    pub fn region_by_name(&self, name: &str) -> Option<&Region> {
+        self.schema.id(name).map(|id| &self.regions[id])
+    }
+
+    /// Mutable access to the region assigned to `id`.
+    pub fn region_mut(&mut self, id: RegionId) -> &mut Region {
+        &mut self.regions[id]
+    }
+
+    /// Replaces the region assigned to `id`.
+    pub fn set_region(&mut self, id: RegionId, region: Region) {
+        self.regions[id] = region;
+    }
+
+    /// Iterates over `(id, region)` pairs in schema order.
+    pub fn iter(&self) -> impl Iterator<Item = (RegionId, &Region)> {
+        self.regions.iter().enumerate()
+    }
+
+    /// Total number of points used to describe the instance (the paper's
+    /// "raw data" size statistic).
+    pub fn point_count(&self) -> usize {
+        self.regions.iter().map(|r| r.point_count()).sum()
+    }
+
+    /// Total number of polygon rings plus polylines (the paper's "polygons"
+    /// statistic).
+    pub fn polygon_count(&self) -> usize {
+        self.regions.iter().map(|r| r.rings.len() + r.polylines.len()).sum()
+    }
+
+    /// Approximate storage footprint of the raw representation, using the
+    /// paper's convention of a fixed number of bytes per stored point.
+    pub fn raw_bytes(&self, bytes_per_point: usize) -> usize {
+        self.point_count() * bytes_per_point
+    }
+
+    /// Lowers the instance to arrangement input, tagging every piece of
+    /// geometry with its originating region and kind.
+    pub fn to_arrangement_input(&self) -> ArrangementInput {
+        let mut input = ArrangementInput::new();
+        for (id, region) in self.iter() {
+            let ring_tag = SourceTag { region: id, kind: SourceKind::RingBoundary }.encode();
+            for s in region.ring_segments() {
+                input.add_segment(s, ring_tag);
+            }
+            let line_tag = SourceTag { region: id, kind: SourceKind::Polyline }.encode();
+            for s in region.polyline_segments() {
+                input.add_segment(s, line_tag);
+            }
+            let point_tag = SourceTag { region: id, kind: SourceKind::IsolatedPoint }.encode();
+            for p in &region.points {
+                input.add_point(*p, point_tag);
+            }
+        }
+        input
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topo_geometry::Point;
+
+    #[test]
+    fn source_tag_roundtrip() {
+        for region in 0..5 {
+            for kind in [SourceKind::RingBoundary, SourceKind::Polyline, SourceKind::IsolatedPoint] {
+                let tag = SourceTag { region, kind };
+                assert_eq!(SourceTag::decode(tag.encode()), tag);
+            }
+        }
+    }
+
+    #[test]
+    fn build_and_query_instance() {
+        let mut instance = SpatialInstance::new(Schema::from_names(["P", "Q"]));
+        instance.set_region(0, Region::rectangle(0, 0, 10, 10));
+        instance.region_mut(1).add_point(Point::from_ints(5, 5));
+        assert_eq!(instance.point_count(), 5);
+        assert_eq!(instance.polygon_count(), 1);
+        assert_eq!(instance.raw_bytes(20), 100);
+        assert!(instance.region_by_name("P").unwrap().contains_point(&Point::from_ints(1, 1)));
+        assert!(instance.region_by_name("R").is_none());
+    }
+
+    #[test]
+    fn arrangement_input_tags() {
+        let mut instance = SpatialInstance::new(Schema::from_names(["P"]));
+        let mut region = Region::rectangle(0, 0, 4, 4);
+        region.add_polyline(vec![Point::from_ints(10, 0), Point::from_ints(12, 0)]);
+        region.add_point(Point::from_ints(20, 20));
+        instance.set_region(0, region);
+        let input = instance.to_arrangement_input();
+        assert_eq!(input.segments.len(), 5);
+        assert_eq!(input.points.len(), 1);
+        let kinds: Vec<SourceKind> =
+            input.segments.iter().map(|(_, tag)| SourceTag::decode(*tag).kind).collect();
+        assert_eq!(kinds.iter().filter(|k| **k == SourceKind::RingBoundary).count(), 4);
+        assert_eq!(kinds.iter().filter(|k| **k == SourceKind::Polyline).count(), 1);
+        assert_eq!(SourceTag::decode(input.points[0].1).kind, SourceKind::IsolatedPoint);
+    }
+
+    #[test]
+    fn from_regions_builder() {
+        let instance = SpatialInstance::from_regions([
+            ("lake", Region::rectangle(0, 0, 2, 2)),
+            ("forest", Region::rectangle(5, 5, 9, 9)),
+        ]);
+        assert_eq!(instance.schema().len(), 2);
+        assert_eq!(instance.schema().name(1), "forest");
+    }
+}

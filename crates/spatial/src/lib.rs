@@ -1,0 +1,37 @@
+//! Spatial database model.
+//!
+//! This crate implements the spatial side of Segoufin–Vianu: schemas of
+//! region names, compact *semi-linear* regions of the plane (the linear
+//! stand-in for the paper's semi-algebraic regions — see DESIGN.md), spatial
+//! instances, the two first-order spatial query languages of the paper
+//! (`FO(R,<)` over real coordinates and `FO(P,<x,<y)` over points), and a
+//! direct evaluator for topological `FO(P,<x,<y)` sentences that works on the
+//! arrangement's sample points.
+//!
+//! A [`Region`] is a union of three kinds of pieces, matching the paper's
+//! closed regions of dimension 0, 1 and 2:
+//!
+//! * polygon *rings* interpreted with even–odd semantics (dimension 2, with
+//!   holes expressed as nested rings),
+//! * *polylines* (dimension 1), and
+//! * isolated *points* (dimension 0).
+//!
+//! A [`SpatialInstance`] assigns a region to every name of a [`Schema`] and
+//! can be lowered to an [`topo_arrangement::ArrangementInput`] with source
+//! tags that remember which region contributed which piece of geometry — the
+//! topological invariant construction consumes exactly that.
+
+pub mod direct_eval;
+pub mod fo_point;
+pub mod fo_real;
+pub mod instance;
+pub mod region;
+pub mod schema;
+pub mod transform;
+
+pub use direct_eval::{sample_points, DirectEvaluator, SamplePointStructure};
+pub use fo_point::PointFormula;
+pub use fo_real::RealFormula;
+pub use instance::{SourceKind, SourceTag, SpatialInstance};
+pub use region::Region;
+pub use schema::{RegionId, Schema};

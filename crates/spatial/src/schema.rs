@@ -1,0 +1,126 @@
+//! Spatial database schemas: finite, ordered sets of region names.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a region name within a [`Schema`].
+pub type RegionId = usize;
+
+/// A spatial database schema: a finite set of region names.
+///
+/// Names are kept in insertion order; the order is used whenever the paper's
+/// constructions need "some fixed order of the region names in the schema"
+/// (e.g. when gluing the per-component orderings of Lemma 3.1).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Schema {
+    names: Vec<String>,
+    by_name: HashMap<String, RegionId>,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Creates a schema from a list of names.
+    ///
+    /// # Panics
+    /// Panics on duplicate names.
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut schema = Schema::new();
+        for name in names {
+            schema.add(name);
+        }
+        schema
+    }
+
+    /// Adds a region name, returning its id.
+    ///
+    /// # Panics
+    /// Panics if the name is already present.
+    pub fn add<S: Into<String>>(&mut self, name: S) -> RegionId {
+        let name = name.into();
+        assert!(
+            !self.by_name.contains_key(&name),
+            "duplicate region name {name:?} in schema"
+        );
+        let id = self.names.len();
+        self.by_name.insert(name.clone(), id);
+        self.names.push(name);
+        id
+    }
+
+    /// Number of region names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True iff the schema has no region names.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The name of a region id.
+    pub fn name(&self, id: RegionId) -> &str {
+        &self.names[id]
+    }
+
+    /// The id of a region name, if present.
+    pub fn id(&self, name: &str) -> Option<RegionId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Iterates over `(id, name)` pairs in schema order.
+    pub fn iter(&self) -> impl Iterator<Item = (RegionId, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| (i, n.as_str()))
+    }
+
+    /// All ids in schema order.
+    pub fn ids(&self) -> impl Iterator<Item = RegionId> {
+        0..self.names.len()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{}}}", self.names.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut s = Schema::new();
+        let p = s.add("P");
+        let q = s.add("Q");
+        assert_eq!(p, 0);
+        assert_eq!(q, 1);
+        assert_eq!(s.id("P"), Some(0));
+        assert_eq!(s.id("R"), None);
+        assert_eq!(s.name(1), "Q");
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn from_names_preserves_order() {
+        let s = Schema::from_names(["forest", "lake", "urban"]);
+        let collected: Vec<&str> = s.iter().map(|(_, n)| n).collect();
+        assert_eq!(collected, vec!["forest", "lake", "urban"]);
+        assert_eq!(format!("{s}"), "{forest, lake, urban}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_name_panics() {
+        let _ = Schema::from_names(["P", "P"]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Plane homeomorphisms applied to spatial instances.
+//!
+//! Topological properties are exactly the properties invariant under
+//! homeomorphisms of the plane, so the test suites use these transformations
+//! heavily: applying any of them to an instance must leave the topological
+//! invariant unchanged up to isomorphism.
+//!
+//! Only affine homeomorphisms are provided (translations, positive scalings,
+//! rotations by 90 degrees, axis reflections, shears); they are exact over the
+//! rationals and already cover both orientation-preserving and
+//! orientation-reversing cases.
+
+use crate::instance::SpatialInstance;
+use crate::region::Region;
+use topo_geometry::{Point, Rational};
+
+/// An exact affine transformation `p -> A p + b` of the plane.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AffineMap {
+    /// Matrix entries `[[a, b], [c, d]]`.
+    pub a: Rational,
+    /// Matrix entry (0,1).
+    pub b: Rational,
+    /// Matrix entry (1,0).
+    pub c: Rational,
+    /// Matrix entry (1,1).
+    pub d: Rational,
+    /// Translation in x.
+    pub tx: Rational,
+    /// Translation in y.
+    pub ty: Rational,
+}
+
+impl AffineMap {
+    /// The identity map.
+    pub fn identity() -> Self {
+        AffineMap {
+            a: Rational::ONE,
+            b: Rational::ZERO,
+            c: Rational::ZERO,
+            d: Rational::ONE,
+            tx: Rational::ZERO,
+            ty: Rational::ZERO,
+        }
+    }
+
+    /// Translation by `(dx, dy)`.
+    pub fn translation(dx: i64, dy: i64) -> Self {
+        AffineMap { tx: Rational::from_int(dx), ty: Rational::from_int(dy), ..AffineMap::identity() }
+    }
+
+    /// Uniform scaling by a positive rational factor.
+    ///
+    /// # Panics
+    /// Panics if the factor is not strictly positive (a non-positive scaling
+    /// is not a homeomorphism or flips orientation unintentionally).
+    pub fn scaling(factor: Rational) -> Self {
+        assert!(factor.signum() > 0, "scaling factor must be positive");
+        AffineMap { a: factor, d: factor, ..AffineMap::identity() }
+    }
+
+    /// Rotation by 90 degrees counterclockwise around the origin.
+    pub fn rotation90() -> Self {
+        AffineMap {
+            a: Rational::ZERO,
+            b: -Rational::ONE,
+            c: Rational::ONE,
+            d: Rational::ZERO,
+            ..AffineMap::identity()
+        }
+    }
+
+    /// Reflection across the y axis (orientation-reversing).
+    pub fn reflection_x() -> Self {
+        AffineMap { a: -Rational::ONE, ..AffineMap::identity() }
+    }
+
+    /// Shear `x -> x + k·y`.
+    pub fn shear_x(k: Rational) -> Self {
+        AffineMap { b: k, ..AffineMap::identity() }
+    }
+
+    /// True iff the map is invertible (a plane homeomorphism).
+    pub fn is_homeomorphism(&self) -> bool {
+        !(self.a * self.d - self.b * self.c).is_zero()
+    }
+
+    /// True iff the map preserves orientation (positive determinant).
+    pub fn preserves_orientation(&self) -> bool {
+        (self.a * self.d - self.b * self.c).signum() > 0
+    }
+
+    /// Composition `self ∘ other` (apply `other` first).
+    pub fn compose(&self, other: &AffineMap) -> AffineMap {
+        AffineMap {
+            a: self.a * other.a + self.b * other.c,
+            b: self.a * other.b + self.b * other.d,
+            c: self.c * other.a + self.d * other.c,
+            d: self.c * other.b + self.d * other.d,
+            tx: self.a * other.tx + self.b * other.ty + self.tx,
+            ty: self.c * other.tx + self.d * other.ty + self.ty,
+        }
+    }
+
+    /// Applies the map to a point.
+    pub fn apply_point(&self, p: &Point) -> Point {
+        Point::new(
+            self.a * p.x + self.b * p.y + self.tx,
+            self.c * p.x + self.d * p.y + self.ty,
+        )
+    }
+
+    /// Applies the map to a region.
+    pub fn apply_region(&self, region: &Region) -> Region {
+        Region {
+            rings: region
+                .rings
+                .iter()
+                .map(|ring| ring.iter().map(|p| self.apply_point(p)).collect())
+                .collect(),
+            polylines: region
+                .polylines
+                .iter()
+                .map(|chain| chain.iter().map(|p| self.apply_point(p)).collect())
+                .collect(),
+            points: region.points.iter().map(|p| self.apply_point(p)).collect(),
+        }
+    }
+
+    /// Applies the map to every region of an instance.
+    ///
+    /// # Panics
+    /// Panics if the map is not a homeomorphism.
+    pub fn apply_instance(&self, instance: &SpatialInstance) -> SpatialInstance {
+        assert!(self.is_homeomorphism(), "affine map is singular");
+        let mut out = SpatialInstance::new(instance.schema().clone());
+        for (id, region) in instance.iter() {
+            out.set_region(id, self.apply_region(region));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    #[test]
+    fn identity_and_translation() {
+        let p = Point::from_ints(3, 4);
+        assert_eq!(AffineMap::identity().apply_point(&p), p);
+        assert_eq!(AffineMap::translation(1, -2).apply_point(&p), Point::from_ints(4, 2));
+    }
+
+    #[test]
+    fn rotation_and_reflection() {
+        let p = Point::from_ints(1, 0);
+        assert_eq!(AffineMap::rotation90().apply_point(&p), Point::from_ints(0, 1));
+        assert_eq!(AffineMap::reflection_x().apply_point(&p), Point::from_ints(-1, 0));
+        assert!(AffineMap::rotation90().preserves_orientation());
+        assert!(!AffineMap::reflection_x().preserves_orientation());
+    }
+
+    #[test]
+    fn composition_matches_sequential_application() {
+        let m1 = AffineMap::rotation90();
+        let m2 = AffineMap::translation(5, 7);
+        let composed = m2.compose(&m1);
+        let p = Point::from_ints(2, 3);
+        assert_eq!(composed.apply_point(&p), m2.apply_point(&m1.apply_point(&p)));
+    }
+
+    #[test]
+    fn instance_transformation_preserves_membership() {
+        let mut instance = SpatialInstance::new(Schema::from_names(["P"]));
+        instance.set_region(0, Region::rectangle(0, 0, 10, 10));
+        let map = AffineMap::translation(100, 100);
+        let moved = map.apply_instance(&instance);
+        assert!(moved.region(0).contains_point(&Point::from_ints(105, 105)));
+        assert!(!moved.region(0).contains_point(&Point::from_ints(5, 5)));
+    }
+
+    #[test]
+    fn homeomorphism_detection() {
+        assert!(AffineMap::scaling(Rational::new(3, 2)).is_homeomorphism());
+        let singular = AffineMap { a: Rational::ZERO, d: Rational::ZERO, ..AffineMap::identity() };
+        assert!(!singular.is_homeomorphism());
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_scaling_panics() {
+        let _ = AffineMap::scaling(Rational::from_int(-1));
+    }
+}

@@ -1,0 +1,32 @@
+//! Translation of topological spatial queries into queries on the invariant
+//! (Segoufin–Vianu, Sections 3 and 4).
+//!
+//! * [`orderings`] — the parameterised orderings of Lemma 3.1 lifted to whole
+//!   invariants (the formula Ψ_π of Theorem 3.2): every admissible parameter
+//!   choice yields a total order on the cells, and order-invariant queries
+//!   evaluate identically on all of them.
+//! * [`translate`] — the effective translations: the ordered copy of the
+//!   invariant on an auxiliary ordered domain (the object Theorem 3.4's
+//!   fixpoint+counting query constructs), and the linear-time translation of
+//!   topological `FO(P,<x,<y)` / `FO(R,<)` sentences into invariant-side
+//!   queries that evaluate by inverting the invariant and running the
+//!   sentence on the rebuilt linear instance (the computation that the
+//!   fixpoint+counting query of Theorem 4.1 simulates).
+//! * [`cycles`] — the Section 4 machinery for single-region schemas: the
+//!   coloured cycles `cycles(I)` read off the invariant (Lemma 4.5), r-type
+//!   equivalence of coloured cyclic words via Ehrenfeucht–Fraïssé games
+//!   (Lemmas 4.6–4.8), the `≈r` equivalence of Lemma 4.7, and a
+//!   finite-universe variant of the Theorem 4.9 translation into `FO_inv`
+//!   whose cost explodes with the quantifier depth — the hyperexponential
+//!   behaviour the paper reports.
+
+pub mod cycles;
+pub mod orderings;
+pub mod translate;
+
+pub use cycles::{
+    cycles_of, ColoredCycle, CycleColor, SingleRegionTranslator, cycles_equivalent,
+    equivalent_lemma_4_7,
+};
+pub use orderings::{all_invariant_orderings, orderings_agree, InvariantOrdering};
+pub use translate::{ordered_copy, TranslatedQuery};

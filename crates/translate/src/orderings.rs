@@ -1,0 +1,163 @@
+//! Whole-invariant parameterised orderings (Lemma 3.1 and Theorem 3.2).
+//!
+//! Lemma 3.1 defines, for every connected component and every admissible
+//! parameter choice (orientation, vertex, adjacent proper edge), a total order
+//! of the component's vertices, edges and faces. Theorem 3.2 glues the
+//! per-component orders into total orders of the whole invariant (one per
+//! combination of choices) and runs the given order-invariant query on all of
+//! them simultaneously: since the query is order-invariant, every ordering
+//! yields the same answer. This module makes those objects concrete so the
+//! experiments can *check* the order-invariance claim rather than assume it.
+
+use topo_invariant::canonical::{component_orderings, CellRef, ComponentOrdering, Orientation};
+use topo_invariant::TopologicalInvariant;
+
+/// A total order of all cells of the invariant, obtained from one parameter
+/// choice per connected component.
+#[derive(Clone, Debug)]
+pub struct InvariantOrdering {
+    /// The global orientation used.
+    pub orientation: Orientation,
+    /// The per-component parameter choices `(component, start vertex, start
+    /// edge)`.
+    pub choices: Vec<(usize, Option<usize>, Option<usize>)>,
+    /// The resulting total order on all cells (exterior face last).
+    pub order: Vec<CellRef>,
+}
+
+/// Enumerates whole-invariant orderings: for each global orientation, the
+/// product of the per-component choices of Lemma 3.1, capped at `limit`
+/// orderings (the number of orderings is polynomial but the constant matters
+/// for large invariants).
+pub fn all_invariant_orderings(
+    invariant: &TopologicalInvariant,
+    limit: usize,
+) -> Vec<InvariantOrdering> {
+    let mut out = Vec::new();
+    for orientation in [Orientation::CounterClockwise, Orientation::Clockwise] {
+        let per_component: Vec<Vec<ComponentOrdering>> = (0..invariant.components().len())
+            .map(|c| component_orderings(invariant, c, orientation))
+            .collect();
+        // Cartesian product, lazily truncated.
+        let mut stack: Vec<usize> = vec![0; per_component.len()];
+        loop {
+            if out.len() >= limit {
+                return out;
+            }
+            let selected: Vec<&ComponentOrdering> = per_component
+                .iter()
+                .zip(&stack)
+                .map(|(options, &index)| &options[index])
+                .collect();
+            out.push(glue(invariant, orientation, &selected));
+            // Advance the mixed-radix counter.
+            let mut position = 0;
+            loop {
+                if position == stack.len() {
+                    // Exhausted this orientation.
+                    stack.clear();
+                    break;
+                }
+                stack[position] += 1;
+                if stack[position] < per_component[position].len() {
+                    break;
+                }
+                stack[position] = 0;
+                position += 1;
+            }
+            if stack.is_empty() {
+                break;
+            }
+            if per_component.is_empty() {
+                break;
+            }
+        }
+    }
+    out
+}
+
+fn glue(
+    invariant: &TopologicalInvariant,
+    orientation: Orientation,
+    selected: &[&ComponentOrdering],
+) -> InvariantOrdering {
+    let mut order: Vec<CellRef> = Vec::with_capacity(invariant.cell_count());
+    let mut choices = Vec::new();
+    for (component, ordering) in selected.iter().enumerate() {
+        choices.push((component, ordering.start_vertex, ordering.start_edge));
+        order.extend(ordering.order.iter().copied());
+    }
+    // The exterior face is owned by no component; it closes the order.
+    order.push((topo_invariant::CellKind::Face, invariant.exterior_face()));
+    InvariantOrdering { orientation, choices, order }
+}
+
+/// Runs an order-dependent computation under every ordering (up to `limit`)
+/// and reports whether all runs produced the same answer, together with that
+/// answer. This is the experimental check of Theorem 3.2's "run the query on
+/// all orderings simultaneously" argument.
+pub fn orderings_agree<T: PartialEq + Clone>(
+    invariant: &TopologicalInvariant,
+    limit: usize,
+    mut query: impl FnMut(&InvariantOrdering) -> T,
+) -> (bool, Option<T>) {
+    let orderings = all_invariant_orderings(invariant, limit);
+    let mut result: Option<T> = None;
+    for ordering in &orderings {
+        let value = query(ordering);
+        match &result {
+            None => result = Some(value),
+            Some(existing) => {
+                if *existing != value {
+                    return (false, result);
+                }
+            }
+        }
+    }
+    (true, result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topo_invariant::{top, CellKind};
+    use topo_spatial::{Region, SpatialInstance};
+
+    fn instance() -> SpatialInstance {
+        let mut p = Region::rectangle(0, 0, 100, 100);
+        p.add_polyline(vec![
+            topo_geometry::Point::from_ints(100, 100),
+            topo_geometry::Point::from_ints(150, 150),
+        ]);
+        SpatialInstance::from_regions([
+            ("P", p),
+            ("Q", Region::rectangle(200, 0, 300, 100)),
+        ])
+    }
+
+    #[test]
+    fn every_ordering_is_a_permutation_of_all_cells() {
+        let invariant = top(&instance());
+        let orderings = all_invariant_orderings(&invariant, 64);
+        assert!(!orderings.is_empty());
+        for ordering in &orderings {
+            assert_eq!(ordering.order.len(), invariant.cell_count());
+            let set: std::collections::HashSet<_> = ordering.order.iter().collect();
+            assert_eq!(set.len(), invariant.cell_count());
+        }
+    }
+
+    #[test]
+    fn order_invariant_queries_agree_across_orderings() {
+        let invariant = top(&instance());
+        // An order-invariant query: the number of edge cells.
+        let (agree, value) = orderings_agree(&invariant, 64, |ordering| {
+            ordering.order.iter().filter(|(kind, _)| *kind == CellKind::Edge).count()
+        });
+        assert!(agree);
+        assert_eq!(value, Some(invariant.edge_count()));
+        // An order-dependent query need not agree (first cell kind).
+        let orderings = all_invariant_orderings(&invariant, 64);
+        assert!(orderings.len() > 1);
+    }
+}

@@ -1,0 +1,172 @@
+//! Effective translations into invariant-side queries (Theorems 3.4, 4.1, 4.2).
+
+use topo_invariant::invert::InvertError;
+use topo_invariant::{CellKind, TopologicalInvariant};
+use topo_relational::Structure;
+use topo_spatial::{DirectEvaluator, PointFormula, RealFormula};
+
+/// Builds a copy of the invariant's relational form on an auxiliary *ordered*
+/// domain: the export of [`TopologicalInvariant::to_structure`] augmented with
+/// the numeric scaffolding (`Succ`, `NumLess`, …) and a total order `CellOrder`
+/// on the cells. This is the object the fixpoint+counting query of
+/// Theorem 3.4 constructs; once it exists, any PTIME query can be evaluated
+/// on it by an order-aware fixpoint program (Immerman–Vardi).
+///
+/// The cell order used here is the deterministic export order; the canonical
+/// order of Theorem 3.4 (invariant under isomorphism) is obtained by sorting
+/// cells according to [`TopologicalInvariant::canonical_code`]'s component
+/// ordering and is not needed for query evaluation, only for the
+/// logical-definability argument — see DESIGN.md.
+pub fn ordered_copy(invariant: &TopologicalInvariant) -> Structure {
+    let mut structure = invariant.to_structure();
+    structure.add_numeric_relations();
+    structure.add_relation("CellOrder", 2);
+    let n = structure.domain_size() as u32;
+    for i in 2..n {
+        for j in (i + 1)..n {
+            structure.insert("CellOrder", &[i, j]);
+        }
+    }
+    structure
+}
+
+/// A topological spatial query translated to run against the invariant
+/// (Theorem 4.1 / 4.2).
+///
+/// The paper's translation produces a fixpoint+counting sentence that (a)
+/// rebuilds an ordered copy of the invariant, (b) simulates the PTIME Turing
+/// machine that inverts the invariant into a linear instance `J` (Theorem
+/// 2.2) and evaluates the original sentence on `J`. This type executes that
+/// very computation natively: `evaluate` inverts the invariant and runs the
+/// sentence with the direct evaluator. The translation itself
+/// ([`TranslatedQuery::new`]) is linear time in the size of the formula, as
+/// Theorem 4.1(2) states.
+#[derive(Clone, Debug)]
+pub struct TranslatedQuery {
+    formula: PointFormula,
+    real_form: RealFormula,
+}
+
+impl TranslatedQuery {
+    /// Translates a topological `FO(P, <x, <y)` sentence. The input is assumed
+    /// to be topological (the paper makes the same assumption; topologicality
+    /// of `FO(R,<)` sentences is undecidable).
+    ///
+    /// # Panics
+    /// Panics if the formula is not a sentence.
+    pub fn new(formula: PointFormula) -> Self {
+        assert!(formula.is_sentence(), "only sentences can be translated");
+        let real_form = formula.to_real();
+        TranslatedQuery { formula, real_form }
+    }
+
+    /// The `FO(R, <)` form of the translated sentence.
+    pub fn real_formula(&self) -> &RealFormula {
+        &self.real_form
+    }
+
+    /// The point-language form of the translated sentence.
+    pub fn point_formula(&self) -> &PointFormula {
+        &self.formula
+    }
+
+    /// Size of the translated query; linear in the input size (Theorem
+    /// 4.1(2)).
+    pub fn size(&self) -> usize {
+        self.formula.size()
+    }
+
+    /// Evaluates the translated query against a topological invariant: invert
+    /// to a linear instance (Theorem 2.2) and evaluate the sentence on it.
+    /// Because the sentence is topological and the rebuilt instance is
+    /// topologically equivalent to the original, the answer equals the answer
+    /// on the original spatial database.
+    pub fn evaluate(&self, invariant: &TopologicalInvariant) -> Result<bool, InvertError> {
+        let instance = topo_invariant::invert(invariant)?;
+        Ok(DirectEvaluator::new(&instance).evaluate(&self.formula))
+    }
+
+    /// Evaluates the query directly on a spatial instance (the left-hand side
+    /// of Theorem 4.1(1): `φ(I)`).
+    pub fn evaluate_on_instance(&self, instance: &topo_spatial::SpatialInstance) -> bool {
+        DirectEvaluator::new(instance).evaluate(&self.formula)
+    }
+}
+
+/// Counts cells of each kind in an ordered copy — a tiny order-invariant
+/// sanity query used by tests and the experiments harness.
+pub fn cell_census(structure: &Structure) -> (usize, usize, usize) {
+    let count = |name: &str| structure.relation(name).map(|r| r.len()).unwrap_or(0);
+    (count("Vertex"), count("Edge"), count("Face"))
+}
+
+/// Convenience: the kinds and counts of an invariant, for comparison with
+/// [`cell_census`].
+pub fn invariant_census(invariant: &TopologicalInvariant) -> (usize, usize, usize) {
+    let _ = CellKind::Vertex;
+    (invariant.vertex_count(), invariant.edge_count(), invariant.face_count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topo_invariant::top;
+    use topo_spatial::{Region, SpatialInstance};
+
+    fn nested_instance() -> SpatialInstance {
+        SpatialInstance::from_regions([
+            ("P", Region::rectangle(0, 0, 100, 100)),
+            ("Q", Region::rectangle(20, 20, 80, 80)),
+        ])
+    }
+
+    fn containment_sentence() -> PointFormula {
+        PointFormula::Forall(
+            0,
+            Box::new(
+                PointFormula::InRegion { region: 1, var: 0 }
+                    .implies(PointFormula::InRegion { region: 0, var: 0 }),
+            ),
+        )
+    }
+
+    #[test]
+    fn ordered_copy_has_order_and_census() {
+        let invariant = top(&nested_instance());
+        let structure = ordered_copy(&invariant);
+        assert!(structure.relation("CellOrder").is_some());
+        assert!(structure.relation("Succ").is_some());
+        assert_eq!(cell_census(&structure), invariant_census(&invariant));
+        // The order is total on the cell part of the domain.
+        let cells = structure.domain_size() - 2;
+        assert_eq!(structure.relation("CellOrder").unwrap().len(), cells * (cells - 1) / 2);
+    }
+
+    #[test]
+    fn translated_query_agrees_with_direct_evaluation() {
+        let instance = nested_instance();
+        let invariant = top(&instance);
+        let query = TranslatedQuery::new(containment_sentence());
+        // φ(I) = inv(φ)(top(I)) — Theorem 4.1(1).
+        assert_eq!(query.evaluate_on_instance(&instance), query.evaluate(&invariant).unwrap());
+        assert!(query.evaluate(&invariant).unwrap());
+
+        // A false sentence stays false through the translation.
+        let reversed = TranslatedQuery::new(PointFormula::Forall(
+            0,
+            Box::new(
+                PointFormula::InRegion { region: 0, var: 0 }
+                    .implies(PointFormula::InRegion { region: 1, var: 0 }),
+            ),
+        ));
+        assert!(!reversed.evaluate(&invariant).unwrap());
+    }
+
+    #[test]
+    fn translation_is_linear_in_formula_size() {
+        let base = containment_sentence();
+        let query = TranslatedQuery::new(base.clone());
+        assert_eq!(query.size(), base.size());
+        assert_eq!(query.real_formula().quantifier_depth(), 2 * base.quantifier_depth());
+    }
+}

@@ -1,0 +1,71 @@
+//! Head-to-head comparison of the paper's evaluation strategies on one
+//! workload: (i) direct evaluation on the raw data, (ii) fixpoint programs on
+//! the invariant, (iii) native algorithms on the invariant, (iv) direct
+//! evaluation on the rebuilt linear instance.
+//!
+//! Run with `cargo run --release --example invariant_vs_direct`.
+
+use std::time::Instant;
+use topo_core::{Semantics, TopologicalQuery};
+use topo_datagen::{sequoia_hydro, Scale};
+
+fn main() {
+    let instance = sequoia_hydro(Scale { grid: 6 }, 99);
+    let schema = instance.schema().clone();
+    println!("workload: {} raw points", instance.point_count());
+
+    let start = Instant::now();
+    let invariant = topo_core::top(&instance);
+    println!("invariant construction: {:?} ({} cells)", start.elapsed(), invariant.cell_count());
+    let structure = invariant.to_structure();
+    let rebuilt = topo_core::invert(&invariant).ok();
+
+    let queries = [
+        TopologicalQuery::Intersects(0, 2),
+        TopologicalQuery::Contains(0, 1),
+        TopologicalQuery::IsConnected(0),
+        TopologicalQuery::HasHole(0),
+    ];
+    println!(
+        "\n{:<45} {:>14} {:>14} {:>14} {:>14}",
+        "query", "(i) direct", "(ii) datalog", "(iii) invariant", "(iv) rebuilt"
+    );
+    for query in queries {
+        let t0 = Instant::now();
+        let direct = topo_core::evaluate_direct(&query, &instance);
+        let t_direct = t0.elapsed();
+
+        let datalog = topo_core::datalog_program(&query, &schema).map(|program| {
+            let t = Instant::now();
+            let out = program.run(&structure, Semantics::Stratified, usize::MAX).unwrap();
+            let answer = out.relation(&program.output).map(|r| !r.is_empty()).unwrap_or(false);
+            (answer, t.elapsed())
+        });
+
+        let t1 = Instant::now();
+        let on_invariant = topo_core::evaluate_on_invariant(&query, &invariant);
+        let t_invariant = t1.elapsed();
+
+        let rebuilt_eval = rebuilt.as_ref().map(|r| {
+            let t = Instant::now();
+            (topo_core::evaluate_direct(&query, r), t.elapsed())
+        });
+
+        assert_eq!(direct, on_invariant);
+        if let Some((answer, _)) = datalog {
+            assert_eq!(direct, answer);
+        }
+        println!(
+            "{:<45} {:>8} {:>5.1?} {:>14} {:>8} {:>5.1?} {:>14}",
+            query.describe(&schema),
+            direct,
+            t_direct,
+            datalog.map(|(a, t)| format!("{a} {t:.1?}")).unwrap_or_else(|| "-".into()),
+            on_invariant,
+            t_invariant,
+            rebuilt_eval.map(|(a, t)| format!("{a} {t:.1?}")).unwrap_or_else(|| "-".into()),
+        );
+    }
+    println!("\nAll strategies agree; the invariant-side evaluations touch a structure that is");
+    println!("orders of magnitude smaller than the raw data, which is the paper's point.");
+}

@@ -1,0 +1,62 @@
+//! Land-use analysis on a Sequoia-2000-style land-cover map: build the
+//! invariant once, then answer a batch of adjacency / containment questions
+//! on it — the workload that motivates querying the invariant instead of the
+//! raw data.
+//!
+//! Run with `cargo run --release --example land_use_analysis`.
+
+use topo_core::{InvariantStats, TopologicalQuery};
+use topo_datagen::{sequoia_landcover, Scale};
+
+fn main() {
+    let instance = sequoia_landcover(Scale::medium(), 2024);
+    println!(
+        "land-cover map: {} patches, {} raw points ({} bytes at 20 bytes/point)",
+        instance.polygon_count(),
+        instance.point_count(),
+        instance.raw_bytes(20)
+    );
+
+    let start = std::time::Instant::now();
+    let invariant = topo_core::top(&instance);
+    let stats = InvariantStats::compute(&invariant);
+    println!(
+        "invariant built in {:?}: {} cells, {} bytes ({}x smaller), avg {:.1} lines per junction (max {})",
+        start.elapsed(),
+        stats.cells,
+        stats.bytes,
+        instance.raw_bytes(20) / stats.bytes.max(1),
+        stats.average_degree,
+        stats.max_degree
+    );
+
+    // Which land-use classes touch which? A full adjacency matrix needs only
+    // the invariant.
+    let schema = instance.schema().clone();
+    println!("\nadjacency (classes that share at least a boundary):");
+    for a in schema.ids() {
+        let mut touching = Vec::new();
+        for b in schema.ids() {
+            if a != b
+                && topo_core::evaluate_on_invariant(&TopologicalQuery::Intersects(a, b), &invariant)
+            {
+                touching.push(schema.name(b));
+            }
+        }
+        println!("  {:<12} touches {:?}", schema.name(a), touching);
+    }
+
+    // Connectivity report: which classes form a single connected territory?
+    println!("\nconnectivity:");
+    for a in schema.ids() {
+        let components = topo_core::component_count(&invariant, a);
+        let connected = components <= 1;
+        println!(
+            "  {:<12} {} ({} component{})",
+            schema.name(a),
+            if connected { "is connected" } else { "is fragmented" },
+            components,
+            if components == 1 { "" } else { "s" }
+        );
+    }
+}

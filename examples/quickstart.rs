@@ -1,0 +1,56 @@
+//! Quickstart: build a tiny spatial database, compute its topological
+//! invariant, and answer topological queries on either side.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use topo_core::{Region, SpatialInstance, TopologicalQuery};
+
+fn main() {
+    // A miniature geographic database: a park containing a lake, and a
+    // neighbouring industrial zone that only touches the park's boundary.
+    let instance = SpatialInstance::from_regions([
+        ("park", Region::rectangle(0, 0, 100, 100)),
+        ("lake", Region::rectangle(30, 30, 70, 70)),
+        ("industry", Region::rectangle(100, 0, 180, 100)),
+    ]);
+    println!(
+        "spatial database: {} regions, {} raw points",
+        instance.schema().len(),
+        instance.point_count()
+    );
+
+    // The topological invariant summarises the topology in a handful of cells.
+    let invariant = topo_core::top(&instance);
+    let stats = topo_core::InvariantStats::compute(&invariant);
+    println!(
+        "topological invariant: {} vertices, {} edges, {} faces ({} bytes)",
+        stats.vertices, stats.edges, stats.faces, stats.bytes
+    );
+
+    // Topological queries can be answered on the invariant alone, and agree
+    // with direct evaluation on the raw geometry.
+    let queries = [
+        TopologicalQuery::Contains(0, 1),
+        TopologicalQuery::BoundaryOnlyIntersection(0, 2),
+        TopologicalQuery::InteriorsOverlap(0, 2),
+        TopologicalQuery::Disjoint(1, 2),
+        TopologicalQuery::HasHole(0),
+    ];
+    for query in queries {
+        let on_invariant = topo_core::evaluate_on_invariant(&query, &invariant);
+        let direct = topo_core::evaluate_direct(&query, &instance);
+        assert_eq!(on_invariant, direct);
+        println!("  {:<55} -> {}", query.describe(instance.schema()), on_invariant);
+    }
+
+    // Topological equivalence is decided by comparing canonical codes
+    // (Theorem 2.1): a stretched and translated copy of the map has the same
+    // invariant.
+    let stretched = topo_core::spatial::transform::AffineMap::scaling(
+        topo_core::Rational::new(7, 2),
+    )
+    .compose(&topo_core::spatial::transform::AffineMap::translation(1000, -500))
+    .apply_instance(&instance);
+    assert!(topo_core::top(&stretched).is_isomorphic_to(&invariant));
+    println!("a stretched + translated copy is topologically equivalent: true");
+}

@@ -1,0 +1,5 @@
+//! Workspace root: hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`). The public API lives in
+//! [`topo_core`], re-exported here for convenience.
+
+pub use topo_core as api;

@@ -1,0 +1,68 @@
+//! Reproduction of Figures 1 and 2: the running instance and its
+//! connected-component tree.
+
+use topo_core::invariant::CellKind;
+
+#[test]
+fn figure1_component_tree_shape() {
+    let instance = topo_datagen::figure1();
+    let invariant = topo_core::top(&instance);
+
+    // Seven connected components, as in Figure 1 (c1 … c7).
+    assert_eq!(invariant.components().len(), 7);
+
+    // Depth distribution of the tree in Figure 2: two components hang off the
+    // exterior face (c1, c2), two are one level deeper (c3, c7), three are two
+    // levels deep (c4, c5, c6).
+    let mut depth_histogram = std::collections::BTreeMap::new();
+    for component in invariant.components() {
+        *depth_histogram.entry(component.depth).or_insert(0usize) += 1;
+    }
+    assert_eq!(depth_histogram.get(&0), Some(&2));
+    assert_eq!(depth_histogram.get(&1), Some(&2));
+    assert_eq!(depth_histogram.get(&2), Some(&3));
+
+    // One component is an isolated vertex (the point feature c6).
+    assert_eq!(
+        invariant
+            .components()
+            .iter()
+            .filter(|c| c.edges.is_empty() && c.vertices.len() == 1)
+            .count(),
+        1
+    );
+
+    // The face of c1 that hosts nested components has several connected
+    // components on its boundary (the paper's f2 touches c1, c3 and c7).
+    let busiest_face = (0..invariant.face_count())
+        .map(|f| {
+            let mut components = std::collections::HashSet::new();
+            for e in invariant.face_edges(f) {
+                components.insert(invariant.component_of_edge(e));
+            }
+            for v in invariant.face_vertices(f) {
+                components.insert(invariant.component_of_vertex(v));
+            }
+            components.len()
+        })
+        .max()
+        .unwrap();
+    assert!(busiest_face >= 3);
+}
+
+#[test]
+fn figure1_membership_relations_are_consistent() {
+    let instance = topo_datagen::figure1();
+    let invariant = topo_core::top(&instance);
+    // Every face in a region's interior has all its boundary edges in the
+    // region (regions are closed).
+    for f in 0..invariant.face_count() {
+        for region in instance.schema().ids() {
+            if invariant.cell_in_region(CellKind::Face, f, region) {
+                for e in invariant.face_edges(f) {
+                    assert!(invariant.cell_in_region(CellKind::Edge, e, region));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests over randomly generated instances: structural
+//! invariants of `top(I)` that must hold for every input.
+
+use proptest::prelude::*;
+use topo_core::invariant::CellKind;
+use topo_core::{Region, SpatialInstance};
+use topo_geometry::Point;
+
+/// Strategy: a small instance of one or two regions made of disjoint or nested
+/// axis-aligned rectangles and isolated points placed on a coarse lattice.
+fn small_instance() -> impl Strategy<Value = SpatialInstance> {
+    let rect = (0i64..6, 0i64..6, 1i64..4, 1i64..4)
+        .prop_map(|(x, y, w, h)| (x * 100, y * 100, x * 100 + w * 60, y * 100 + h * 60));
+    let rects = proptest::collection::vec(rect, 1..5);
+    let points = proptest::collection::vec((0i64..40, 0i64..40), 0..3);
+    (rects, points).prop_map(|(rects, points)| {
+        let mut a = Region::new();
+        let mut b = Region::new();
+        for (i, (x0, y0, x1, y1)) in rects.into_iter().enumerate() {
+            // Small per-index offsets keep boundary segments of the same
+            // region from ever being collinear-coincident (which would make
+            // the even–odd 2-D semantics disagree with the closed-skeleton
+            // convenience semantics of `Region::contains_point`).
+            let (dx, dy) = (7 * i as i64, 11 * i as i64);
+            let (x0, y0, x1, y1) = (x0 + dx, y0 + dy, x1 + dx, y1 + dy);
+            let ring = vec![
+                Point::from_ints(x0, y0),
+                Point::from_ints(x1, y0),
+                Point::from_ints(x1, y1),
+                Point::from_ints(x0, y1),
+            ];
+            if i % 2 == 0 {
+                a.add_ring(ring);
+            } else {
+                b.add_ring(ring);
+            }
+        }
+        for (x, y) in points {
+            b.add_point(Point::from_ints(x * 17 + 3, y * 13 + 1));
+        }
+        SpatialInstance::from_regions([("A", a), ("B", b)])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The invariant never has removable structure left: no degree-2 vertex
+    /// with a homogeneous neighbourhood, no edge with identical memberships on
+    /// both sides and itself.
+    #[test]
+    fn reduction_is_maximal(instance in small_instance()) {
+        let invariant = topo_core::top(&instance);
+        let regions = instance.schema().len();
+        for e in 0..invariant.edge_count() {
+            let (fa, fb) = invariant.edge_faces(e);
+            let homogeneous = (0..regions).all(|r| {
+                let edge_in = invariant.cell_in_region(CellKind::Edge, e, r);
+                edge_in == invariant.cell_in_region(CellKind::Face, fa, r)
+                    && edge_in == invariant.cell_in_region(CellKind::Face, fb, r)
+            });
+            prop_assert!(!homogeneous, "edge {e} should have been removed");
+        }
+    }
+
+    /// Membership is closed: the closure of a cell in a region stays in the
+    /// region (regions are closed sets).
+    #[test]
+    fn membership_is_downward_closed(instance in small_instance()) {
+        let invariant = topo_core::top(&instance);
+        for r in instance.schema().ids() {
+            for f in 0..invariant.face_count() {
+                if invariant.cell_in_region(CellKind::Face, f, r) {
+                    for e in invariant.face_edges(f) {
+                        prop_assert!(invariant.cell_in_region(CellKind::Edge, e, r));
+                    }
+                    for v in invariant.face_vertices(f) {
+                        prop_assert!(invariant.cell_in_region(CellKind::Vertex, v, r));
+                    }
+                }
+            }
+            for e in 0..invariant.edge_count() {
+                if invariant.cell_in_region(CellKind::Edge, e, r) {
+                    if let Some((a, b)) = invariant.edge_endpoints(e) {
+                        prop_assert!(invariant.cell_in_region(CellKind::Vertex, a, r));
+                        prop_assert!(invariant.cell_in_region(CellKind::Vertex, b, r));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Translating the instance by a random vector never changes the
+    /// invariant's canonical code.
+    #[test]
+    fn canonical_code_is_translation_invariant(
+        instance in small_instance(),
+        dx in -1000i64..1000,
+        dy in -1000i64..1000,
+    ) {
+        let code = topo_core::top(&instance).canonical_code();
+        let moved = topo_core::spatial::transform::AffineMap::translation(dx, dy)
+            .apply_instance(&instance);
+        prop_assert_eq!(code, topo_core::top(&moved).canonical_code());
+    }
+
+    /// Direct and invariant-side evaluation agree on the core queries.
+    #[test]
+    fn query_strategies_agree(instance in small_instance()) {
+        use topo_core::TopologicalQuery as Q;
+        let invariant = topo_core::top(&instance);
+        for query in [
+            Q::Intersects(0, 1),
+            Q::Contains(0, 1),
+            Q::InteriorsOverlap(0, 1),
+            Q::IsConnected(0),
+            Q::HasHole(0),
+            Q::ComponentCountEven(1),
+        ] {
+            prop_assert_eq!(
+                topo_core::evaluate_direct(&query, &instance),
+                topo_core::evaluate_on_invariant(&query, &invariant)
+            );
+        }
+    }
+}

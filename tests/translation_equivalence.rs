@@ -1,0 +1,92 @@
+//! Theorem 4.1 end to end: for topological sentences, evaluation on the
+//! spatial instance equals evaluation of the translated query on the
+//! invariant; plus the Lemma 3.1 ordering machinery of Theorem 3.2.
+
+use topo_core::PointFormula;
+use topo_translate::{all_invariant_orderings, orderings_agree, TranslatedQuery};
+
+fn in_region(region: usize, var: u32) -> PointFormula {
+    PointFormula::InRegion { region, var }
+}
+
+fn sentences() -> Vec<PointFormula> {
+    vec![
+        // Some lake exists.
+        PointFormula::Exists(0, Box::new(in_region(0, 0))),
+        // Every island point is a lake point (false: islands are holes).
+        PointFormula::Forall(0, Box::new(in_region(1, 0).implies(in_region(0, 0)))),
+        // Some river point is also a lake point.
+        PointFormula::Exists(
+            0,
+            Box::new(PointFormula::And(vec![in_region(0, 0), in_region(2, 0)])),
+        ),
+        // There are two distinct estuary points.
+        PointFormula::Exists(
+            0,
+            Box::new(PointFormula::Exists(
+                1,
+                Box::new(PointFormula::And(vec![
+                    in_region(3, 0),
+                    in_region(3, 1),
+                    PointFormula::Not(Box::new(PointFormula::Eq(0, 1))),
+                ])),
+            )),
+        ),
+    ]
+}
+
+#[test]
+fn translated_queries_agree_with_direct_evaluation() {
+    let instance = topo_datagen::sequoia_hydro(topo_datagen::Scale::tiny(), 13);
+    let invariant = topo_core::top(&instance);
+    for sentence in sentences() {
+        let translated = TranslatedQuery::new(sentence);
+        let on_instance = translated.evaluate_on_instance(&instance);
+        let on_invariant = translated.evaluate(&invariant).expect("hydro is invertible");
+        assert_eq!(on_instance, on_invariant, "Theorem 4.1 equality failed");
+    }
+}
+
+#[test]
+fn translation_size_is_linear() {
+    for sentence in sentences() {
+        let size = sentence.size();
+        let translated = TranslatedQuery::new(sentence);
+        assert_eq!(translated.size(), size);
+    }
+}
+
+#[test]
+fn lemma_3_1_orderings_are_total_and_consistent() {
+    let instance = topo_datagen::figure1();
+    let invariant = topo_core::top(&instance);
+    let orderings = all_invariant_orderings(&invariant, 128);
+    assert!(orderings.len() > 1, "several parameter choices must exist");
+    for ordering in &orderings {
+        assert_eq!(ordering.order.len(), invariant.cell_count());
+    }
+    // Any order-invariant Boolean query agrees across orderings; here: "the
+    // number of cells in region 0 exceeds the number in region 1".
+    let (agree, _) = orderings_agree(&invariant, 128, |ordering| {
+        let count = |region: usize| {
+            ordering
+                .order
+                .iter()
+                .filter(|&&(kind, id)| invariant.cell_in_region(kind, id, region))
+                .count()
+        };
+        count(0) > count(1)
+    });
+    assert!(agree);
+}
+
+#[test]
+fn ordered_copy_preserves_cell_census() {
+    let instance = topo_datagen::nested_rings(3, 2);
+    let invariant = topo_core::top(&instance);
+    let structure = topo_translate::ordered_copy(&invariant);
+    assert_eq!(
+        topo_translate::translate::cell_census(&structure),
+        (invariant.vertex_count(), invariant.edge_count(), invariant.face_count())
+    );
+}
