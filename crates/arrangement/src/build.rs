@@ -66,8 +66,7 @@ impl<'a> Builder<'a> {
     fn compute_splits(&mut self) -> Vec<Vec<Point>> {
         let segments: Vec<topo_geometry::Segment> =
             self.input.segments.iter().map(|(s, _)| *s).collect();
-        let mut splits: Vec<Vec<Point>> =
-            segments.iter().map(|s| vec![s.a, s.b]).collect();
+        let mut splits: Vec<Vec<Point>> = segments.iter().map(|s| vec![s.a, s.b]).collect();
         if !segments.is_empty() {
             let grid = SegmentGrid::build(&segments);
             for (i, j) in grid.candidate_pairs() {
@@ -274,9 +273,10 @@ impl<'a> Builder<'a> {
                 comp_min_vertex[idx] = v;
             }
         }
-        let comp_of_vertex = |builder_parent: &mut [usize], v: VertexId, comp_index: &HashMap<usize, usize>| -> usize {
-            comp_index[&find(builder_parent, v)]
-        };
+        let comp_of_vertex = |builder_parent: &mut [usize],
+                              v: VertexId,
+                              comp_index: &HashMap<usize, usize>|
+         -> usize { comp_index[&find(builder_parent, v)] };
 
         // Outer contour of every component: the cycle bounding the angular
         // sector that faces "due left" at the component's minimal vertex.
@@ -508,11 +508,8 @@ mod tests {
         assert_eq!(arr.edge_count(), 4);
         assert_eq!(arr.face_count(), 1);
         assert!(arr.validate().is_ok());
-        let center = arr
-            .vertices
-            .iter()
-            .position(|q| *q == p(5, 5))
-            .expect("crossing vertex exists");
+        let center =
+            arr.vertices.iter().position(|q| *q == p(5, 5)).expect("crossing vertex exists");
         assert_eq!(arr.degree(center), 4);
     }
 
@@ -559,11 +556,8 @@ mod tests {
         assert_eq!(arr.face_count(), 3);
         assert!(arr.validate().is_ok());
         // The shared edge carries both sources.
-        let shared = arr
-            .edges
-            .iter()
-            .find(|e| e.sources.len() == 2)
-            .expect("shared edge has two sources");
+        let shared =
+            arr.edges.iter().find(|e| e.sources.len() == 2).expect("shared edge has two sources");
         let mut s = shared.sources.clone();
         s.sort_unstable();
         assert_eq!(s, vec![0, 1]);
@@ -636,7 +630,10 @@ mod tests {
         assert_eq!(arr.vertex_count(), 4);
         assert_eq!(arr.edge_count(), 3);
         let shared = arr.edges.iter().find(|e| e.sources.len() == 2).unwrap();
-        assert_eq!(arr.vertices[shared.v1].x.min(arr.vertices[shared.v2].x), topo_geometry::Rational::from_int(4));
+        assert_eq!(
+            arr.vertices[shared.v1].x.min(arr.vertices[shared.v2].x),
+            topo_geometry::Rational::from_int(4)
+        );
     }
 
     #[test]

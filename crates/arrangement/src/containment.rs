@@ -41,7 +41,10 @@ impl CycleGeometry {
         // Widen by a small epsilon so f64 rounding can never cause a false
         // rejection of a point that is exactly on the box boundary.
         let eps = 1e-6 * (1.0 + self.bbox.2.abs().max(self.bbox.3.abs()));
-        x >= self.bbox.0 - eps && x <= self.bbox.2 + eps && y >= self.bbox.1 - eps && y <= self.bbox.3 + eps
+        x >= self.bbox.0 - eps
+            && x <= self.bbox.2 + eps
+            && y >= self.bbox.1 - eps
+            && y <= self.bbox.3 + eps
     }
 
     /// Even–odd containment of `p` in the region enclosed by the cycle.
@@ -73,7 +76,9 @@ impl CycleGeometry {
 
     /// True iff `p` lies on the cycle (on one of its edges or vertices).
     pub(crate) fn on_boundary(&self, p: &Point) -> bool {
-        self.directed.iter().any(|(u, w)| *u == *p || *w == *p || (u != w && point_on_segment(p, u, w)))
+        self.directed
+            .iter()
+            .any(|(u, w)| *u == *p || *w == *p || (u != w && point_on_segment(p, u, w)))
     }
 
     /// A point of this cycle that does not lie on `other`'s boundary, if any.

@@ -20,7 +20,9 @@
 //! [`topo_geometry`]; floating point is used only inside the candidate-pair
 //! grid, which is conservative.
 //!
-//! This is the semi-linear stand-in for the algebraic cell-complex algorithms
+//! This subdivision is the *maximal topological cell decomposition* from
+//! which Theorem 2.1's invariant `top(I)` is assembled by `topo-invariant`.
+//! It is the semi-linear stand-in for the algebraic cell-complex algorithms
 //! of Kozen–Yap / Ben-Or–Kozen–Reif that the paper relies on (see DESIGN.md,
 //! "Substitutions").
 

@@ -17,46 +17,40 @@ use topo_translate::{
     SingleRegionTranslator, TranslatedQuery,
 };
 
+const EXPERIMENTS: [(&str, fn()); 12] = [
+    ("e1", e1_dataset_statistics),
+    ("e2", e2_construction_scaling),
+    ("e3", e3_inversion),
+    ("e4", e4_orderings),
+    ("e5", e5_counting),
+    ("e6", e6_fixpoint_translation),
+    ("e7", e7_fo_translation),
+    ("e8", e8_strategies),
+    ("fig1", fig1_component_tree),
+    ("fig3", fig3_cones_and_cycles),
+    ("fig9", fig9_successor_vs_cyclic),
+    ("fig10", fig10_fo_inv_stronger),
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    for arg in &args {
+        if arg != "all" && !EXPERIMENTS.iter().any(|(id, _)| id == arg) {
+            let known: Vec<&str> = EXPERIMENTS.iter().map(|(id, _)| *id).collect();
+            eprintln!("warning: unknown experiment id '{arg}' (known: all, {})", known.join(", "));
+        }
+    }
     let run_all = args.is_empty() || args.iter().any(|a| a == "all");
-    let want = |id: &str| run_all || args.iter().any(|a| a == id);
-
-    if want("e1") {
-        e1_dataset_statistics();
+    let mut ran_any = false;
+    for (id, run) in EXPERIMENTS {
+        if run_all || args.iter().any(|a| a == id) {
+            run();
+            ran_any = true;
+        }
     }
-    if want("e2") {
-        e2_construction_scaling();
-    }
-    if want("e3") {
-        e3_inversion();
-    }
-    if want("e4") {
-        e4_orderings();
-    }
-    if want("e5") {
-        e5_counting();
-    }
-    if want("e6") {
-        e6_fixpoint_translation();
-    }
-    if want("e7") {
-        e7_fo_translation();
-    }
-    if want("e8") {
-        e8_strategies();
-    }
-    if want("fig1") {
-        fig1_component_tree();
-    }
-    if want("fig3") {
-        fig3_cones_and_cycles();
-    }
-    if want("fig9") {
-        fig9_successor_vs_cyclic();
-    }
-    if want("fig10") {
-        fig10_fo_inv_stronger();
+    if !ran_any {
+        eprintln!("error: no experiment matched the given ids");
+        std::process::exit(1);
     }
 }
 
@@ -81,18 +75,27 @@ fn e1_dataset_statistics() {
             &datagen::sequoia_hydro(datagen::Scale::large(), 2),
             SEQUOIA_BYTES_PER_POINT,
         ),
-        dataset_row("ign-orange-city", &datagen::ign_city(datagen::Scale::medium(), 3), IGN_BYTES_PER_POINT),
+        dataset_row(
+            "ign-orange-city",
+            &datagen::ign_city(datagen::Scale::medium(), 3),
+            IGN_BYTES_PER_POINT,
+        ),
     ];
     print_dataset_table(&rows);
     println!();
-    println!("Paper's published figures for the real data sets: landcover 1/90, hydro 1/300, IGN 1/72;");
+    println!(
+        "Paper's published figures for the real data sets: landcover 1/90, hydro 1/300, IGN 1/72;"
+    );
     println!("average lines per point 4.5, maxima 12 (Sequoia) and 8 (IGN).");
 }
 
 /// E2 — invariant construction scaling (Theorem 2.1's polynomial bound).
 fn e2_construction_scaling() {
     header("E2  Invariant construction scaling (Theorem 2.1)");
-    println!("{:<10} {:>10} {:>10} {:>10} {:>12}", "grid", "points", "cells", "ratio", "build time");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>12}",
+        "grid", "points", "cells", "ratio", "build time"
+    );
     for grid in [4usize, 8, 16, 24, 32] {
         let instance = datagen::sequoia_landcover(datagen::Scale { grid }, 7);
         let (invariant, duration) = build_invariant(&instance);
@@ -112,7 +115,10 @@ fn e2_construction_scaling() {
 /// round trip.
 fn e3_inversion() {
     header("E3  Inversion of the invariant (Theorem 2.2)");
-    println!("{:<28} {:>8} {:>10} {:>10} {:>12} {:>8}", "instance", "cells", "invert", "re-top", "isomorphic", "size");
+    println!(
+        "{:<28} {:>8} {:>10} {:>10} {:>12} {:>8}",
+        "instance", "cells", "invert", "re-top", "isomorphic", "size"
+    );
     let workloads: Vec<(&str, topo_core::SpatialInstance)> = vec![
         ("hydro (tiny)", datagen::sequoia_hydro(datagen::Scale::tiny(), 5)),
         ("hydro (medium)", datagen::sequoia_hydro(datagen::Scale::medium(), 5)),
@@ -147,8 +153,12 @@ fn e4_orderings() {
     let instance = datagen::figure1();
     let invariant = top(&instance);
     let orderings = all_invariant_orderings(&invariant, 512);
-    println!("figure-1 instance: {} components, {} cells, {} orderings generated",
-        invariant.components().len(), invariant.cell_count(), orderings.len());
+    println!(
+        "figure-1 instance: {} components, {} cells, {} orderings generated",
+        invariant.components().len(),
+        invariant.cell_count(),
+        orderings.len()
+    );
     let (agree, value) = orderings_agree(&invariant, 512, |ordering| {
         // An order-invariant query evaluated relative to the order: the
         // number of edges contained in region 0.
@@ -187,7 +197,10 @@ fn e5_counting() {
 /// E6 — Theorem 4.1/4.2: linear-time translation into fixpoint(+counting).
 fn e6_fixpoint_translation() {
     header("E6  Linear-time translation FO_top -> fixpoint+counting (Thm 4.1)");
-    println!("{:<14} {:>12} {:>16} {:>16} {:>10}", "quant. depth", "formula size", "translation time", "eval on inv", "answer");
+    println!(
+        "{:<14} {:>12} {:>16} {:>16} {:>10}",
+        "quant. depth", "formula size", "translation time", "eval on inv", "answer"
+    );
     let instance = datagen::nested_rings(3, 1);
     let invariant = top(&instance);
     for depth in 1..=4usize {
@@ -209,9 +222,8 @@ fn e6_fixpoint_translation() {
 /// A sentence of the given quantifier depth: ∃p1 … ∃pk (region 0 contains all
 /// of them and they are pairwise x-ordered).
 fn nested_exists_formula(depth: usize) -> PointFormula {
-    let mut conjuncts: Vec<PointFormula> = (0..depth as u32)
-        .map(|v| PointFormula::InRegion { region: 0, var: v })
-        .collect();
+    let mut conjuncts: Vec<PointFormula> =
+        (0..depth as u32).map(|v| PointFormula::InRegion { region: 0, var: v }).collect();
     for v in 1..depth as u32 {
         conjuncts.push(PointFormula::LessX(v - 1, v));
     }
@@ -226,7 +238,10 @@ fn nested_exists_formula(depth: usize) -> PointFormula {
 /// cost explodes with the quantifier-depth parameter r.
 fn e7_fo_translation() {
     header("E7  Translation into FO_inv for single-region schemas (Thm 4.9)");
-    println!("{:<6} {:>12} {:>14} {:>16} {:>10}", "r", "candidates", "classes kept", "translation time", "correct");
+    println!(
+        "{:<6} {:>12} {:>14} {:>16} {:>10}",
+        "r", "candidates", "classes kept", "translation time", "correct"
+    );
     // Candidate cone instances: stars with 1..4 polyline arms from a common
     // centre — their cone types (coloured cycles) differ, so the translator
     // has genuinely distinct ≈r classes to examine.
@@ -390,7 +405,8 @@ fn fig9_successor_vs_cyclic() {
         "  invariants isomorphic: {} (the instances are topologically different)",
         inv_a.is_isomorphic_to(&inv_b)
     );
-    let full = topo_core::relational::fo_equivalent(&inv_a.to_structure(), &inv_b.to_structure(), 1);
+    let full =
+        topo_core::relational::fo_equivalent(&inv_a.to_structure(), &inv_b.to_structure(), 1);
     let succ = topo_core::relational::fo_equivalent(
         &inv_a.to_structure_successor_only(),
         &inv_b.to_structure_successor_only(),
@@ -401,7 +417,9 @@ fn fig9_successor_vs_cyclic() {
     println!(
         "  (the paper's Remark (i) after Theorem 4.9: as the line bundles grow, no FO_inv sentence"
     );
-    println!("   over the successor-only invariant distinguishes the two families, so the full cyclic");
+    println!(
+        "   over the successor-only invariant distinguishes the two families, so the full cyclic"
+    );
     println!("   order is necessary for the first-order translation)");
 }
 
@@ -463,7 +481,10 @@ fn fig10_fo_inv_stronger() {
     let j = topo_core::SpatialInstance::from_regions([("even", region_a), ("odd", region_b)]);
     let inv_i = top(&i);
     let inv_j = top(&j);
-    println!("  cone multisets equal (no vertices in either): {}", inv_i.vertex_count() == 0 && inv_j.vertex_count() == 0);
+    println!(
+        "  cone multisets equal (no vertices in either): {}",
+        inv_i.vertex_count() == 0 && inv_j.vertex_count() == 0
+    );
     println!("  cycles(I) ≈1 cycles(J): {}", equivalent_lemma_4_7(&inv_i, &inv_j, 0, 1));
     println!("  invariants isomorphic: {}", inv_i.is_isomorphic_to(&inv_j));
     println!("  (FO over the invariant can count nesting depth; FO_top(R,<) cannot by [KPV97])");

@@ -3,6 +3,11 @@
 //! The `experiments` binary regenerates every table and figure of the paper's
 //! evaluation (see DESIGN.md, "Experiment / figure / table index"); the
 //! Criterion benches measure the same pipelines with statistical rigour.
+//! Between them they exercise invariant construction (Theorem 2.1),
+//! inversion (Theorem 2.2), the Lemma 3.1 orderings, the fixpoint
+//! translations (Theorems 4.1/4.2), the single-region `FO_inv` translation
+//! (Theorem 4.9), and the four evaluation strategies of the
+//! practical-considerations section.
 
 use std::time::{Duration, Instant};
 use topo_core::{InvariantStats, SpatialInstance, TopologicalInvariant};

@@ -7,7 +7,7 @@
 //! * compute the topological invariant `top(I)` ([`top`],
 //!   [`TopologicalInvariant`]) and decide topological equivalence by
 //!   canonical codes (Theorem 2.1),
-//! * invert an invariant back to a linear instance ([`invert`],
+//! * invert an invariant back to a linear instance ([`invert()`],
 //!   Theorem 2.2),
 //! * ask topological queries either directly on the spatial data or on the
 //!   invariant ([`TopologicalQuery`], [`evaluate_direct`],
@@ -52,8 +52,8 @@ pub use topo_invariant::{
     invert, invert_verified, top, top_unreduced, InvariantStats, TopologicalInvariant,
 };
 pub use topo_queries::{
-    component_count, datalog_program, euler_characteristic, evaluate_direct,
-    evaluate_on_invariant, point_formula, TopologicalQuery,
+    component_count, datalog_program, euler_characteristic, evaluate_direct, evaluate_on_invariant,
+    point_formula, TopologicalQuery,
 };
 pub use topo_relational::{Formula, Program, Semantics, Structure};
 pub use topo_spatial::{PointFormula, RealFormula, Region, RegionId, Schema, SpatialInstance};

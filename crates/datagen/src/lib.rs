@@ -9,7 +9,11 @@
 //! DESIGN.md records the substitution.
 //!
 //! All generators return ordinary [`SpatialInstance`]s, so they compose with
-//! every other crate of the workspace.
+//! every other crate of the workspace. Besides the statistics-matched data
+//! sets, [`figure1`] and [`nested_rings`] reproduce the paper's running
+//! examples, and the hydrography-style workloads stay inside the class
+//! supported by the Theorem 2.2 inversion (pairwise non-crossing
+//! boundaries), so round-trip experiments can use them.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -77,7 +81,8 @@ pub fn sequoia_landcover(scale: Scale, seed: u64) -> SpatialInstance {
     for i in 0..n {
         for j in 0..n {
             let class = rng.gen_range(0..classes.len());
-            let ring = vec![corners[i][j], corners[i + 1][j], corners[i + 1][j + 1], corners[i][j + 1]];
+            let ring =
+                vec![corners[i][j], corners[i + 1][j], corners[i + 1][j + 1], corners[i][j + 1]];
             instance.region_mut(class).add_ring(ring);
         }
     }
@@ -127,8 +132,8 @@ pub fn sequoia_hydro(scale: Scale, seed: u64) -> SpatialInstance {
                     let mut y = y0 + 50;
                     for _ in 0..rng.gen_range(4..7) {
                         chain.push(Point::from_ints(x, y));
-                        x += rng.gen_range(60..130);
-                        y += rng.gen_range(20..110);
+                        x += rng.gen_range(60i64..130);
+                        y += rng.gen_range(20i64..110);
                     }
                     rivers.add_polyline(chain);
                 }
@@ -176,8 +181,10 @@ pub fn ign_city(scale: Scale, seed: u64) -> SpatialInstance {
         // Horizontal and vertical roads across the city, offset from district
         // boundaries so crossings have degree 4.
         let offset = k as i64 * cell - cell / 3;
-        roads.add_polyline(vec![Point::from_ints(-50, offset), Point::from_ints(side + 50, offset)]);
-        roads.add_polyline(vec![Point::from_ints(offset, -50), Point::from_ints(offset, side + 50)]);
+        roads
+            .add_polyline(vec![Point::from_ints(-50, offset), Point::from_ints(side + 50, offset)]);
+        roads
+            .add_polyline(vec![Point::from_ints(offset, -50), Point::from_ints(offset, side + 50)]);
     }
     let mut monuments = Region::new();
     for _ in 0..n {
@@ -205,7 +212,12 @@ pub fn nested_rings(levels: usize, siblings: usize) -> SpatialInstance {
         let offset = s as i64 * span;
         for level in 0..levels.max(1) {
             let inset = level as i64 * 100;
-            let ring = rectangle_ring(offset + inset, inset, span - 200 - 2 * inset, span - 200 - 2 * inset);
+            let ring = rectangle_ring(
+                offset + inset,
+                inset,
+                span - 200 - 2 * inset,
+                span - 200 - 2 * inset,
+            );
             if level % 2 == 0 {
                 a.add_ring(ring);
             } else {
@@ -242,7 +254,11 @@ pub fn figure1() -> SpatialInstance {
     // c3: a ring inside c1's face.
     q.add_ring(rectangle_ring(100, 100, 350, 350));
     // c7: a polyline inside c1's face.
-    q.add_polyline(vec![Point::from_ints(600, 600), Point::from_ints(900, 600), Point::from_ints(900, 900)]);
+    q.add_polyline(vec![
+        Point::from_ints(600, 600),
+        Point::from_ints(900, 600),
+        Point::from_ints(900, 900),
+    ]);
     let mut r = Region::new();
     // c4, c5: two rings inside c3's inner face.
     r.add_ring(rectangle_ring(150, 150, 100, 100));

@@ -97,11 +97,7 @@ mod tests {
         for i in 0..dirs.len() {
             for j in 0..dirs.len() {
                 let expected = i.cmp(&j);
-                assert_eq!(
-                    pseudo_angle_cmp(&dirs[i], &dirs[j]),
-                    expected,
-                    "dirs {i} vs {j}"
-                );
+                assert_eq!(pseudo_angle_cmp(&dirs[i], &dirs[j]), expected, "dirs {i} vs {j}");
             }
         }
     }

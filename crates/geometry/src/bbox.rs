@@ -23,12 +23,8 @@ impl BBox {
     /// Panics on an empty slice.
     pub fn from_points(points: &[Point]) -> Self {
         assert!(!points.is_empty(), "bounding box of empty point set");
-        let mut b = BBox {
-            min_x: points[0].x,
-            min_y: points[0].y,
-            max_x: points[0].x,
-            max_y: points[0].y,
-        };
+        let mut b =
+            BBox { min_x: points[0].x, min_y: points[0].y, max_x: points[0].x, max_y: points[0].y };
         for p in &points[1..] {
             b.expand(p);
         }
@@ -88,7 +84,11 @@ mod tests {
 
     #[test]
     fn from_points_and_contains() {
-        let b = BBox::from_points(&[Point::from_ints(0, 0), Point::from_ints(4, 2), Point::from_ints(-1, 3)]);
+        let b = BBox::from_points(&[
+            Point::from_ints(0, 0),
+            Point::from_ints(4, 2),
+            Point::from_ints(-1, 3),
+        ]);
         assert_eq!(b.min_x, Rational::from_int(-1));
         assert_eq!(b.max_x, Rational::from_int(4));
         assert!(b.contains(&Point::from_ints(0, 1)));

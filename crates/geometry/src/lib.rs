@@ -5,7 +5,9 @@
 //! two segments cross, the angular order of edges around a vertex — is
 //! computed exactly over rational numbers ([`Rational`]), so the maximal
 //! topological cell decomposition built on top of it (crate
-//! `topo-arrangement`) is combinatorially exact.
+//! `topo-arrangement`) is combinatorially exact — the precondition for the
+//! polynomial-time computability of the invariant `top(I)` claimed by
+//! Theorem 2.1 of Segoufin–Vianu to mean anything in practice.
 //!
 //! The kernel deliberately stays small:
 //!

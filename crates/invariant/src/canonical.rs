@@ -102,7 +102,12 @@ pub fn component_orderings(
         for f in invariant.owned_faces(component) {
             order.push((CellKind::Face, f));
         }
-        return vec![ComponentOrdering { orientation, start_vertex: None, start_edge: Some(e), order }];
+        return vec![ComponentOrdering {
+            orientation,
+            start_vertex: None,
+            start_edge: Some(e),
+            order,
+        }];
     }
     // A single vertex with loops only: one ordering per starting slot.
     let v = comp.vertices[0];
@@ -121,7 +126,11 @@ pub fn component_orderings(
         order.extend(edge_order.iter().map(|&e| (CellKind::Edge, e)));
         let edge_rank: HashMap<usize, usize> =
             edge_order.iter().enumerate().map(|(i, &e)| (e, i)).collect();
-        order.extend(ordered_owned_faces(invariant, component, &edge_rank).into_iter().map(|f| (CellKind::Face, f)));
+        order.extend(
+            ordered_owned_faces(invariant, component, &edge_rank)
+                .into_iter()
+                .map(|f| (CellKind::Face, f)),
+        );
         out.push(ComponentOrdering {
             orientation,
             start_vertex: Some(v),
@@ -149,8 +158,7 @@ fn build_ordering(
     start_edge: usize,
 ) -> ComponentOrdering {
     let comp = &invariant.components()[component];
-    let is_proper =
-        |e: usize| matches!(invariant.edge_endpoints(e), Some((a, b)) if a != b);
+    let is_proper = |e: usize| matches!(invariant.edge_endpoints(e), Some((a, b)) if a != b);
 
     // Depth-first traversal over proper edges, visiting the proper edges
     // around each vertex in rotation order starting from the vertex's
@@ -201,7 +209,8 @@ fn build_ordering(
     // associated edge.
     let mut edges: Vec<usize> = comp.edges.clone();
     let edge_key = |e: usize| -> (usize, usize, usize) {
-        let (a, b) = invariant.edge_endpoints(e).expect("component with proper edges has no closed curves");
+        let (a, b) =
+            invariant.edge_endpoints(e).expect("component with proper edges has no closed curves");
         let (ra, rb) = (vertex_rank[&a], vertex_rank[&b]);
         let (lo, hi) = (ra.min(rb), ra.max(rb));
         let anchor = if ra <= rb { a } else { b };
@@ -307,7 +316,9 @@ fn component_code(
     let orderings = component_orderings(invariant, component, orientation);
     orderings
         .into_iter()
-        .map(|ordering| serialize_component(invariant, component, orientation, &ordering, subtree_codes))
+        .map(|ordering| {
+            serialize_component(invariant, component, orientation, &ordering, subtree_codes)
+        })
         .min()
         .expect("every component has at least one ordering")
 }
@@ -381,8 +392,7 @@ fn serialize_component(
                 match invariant.edge_endpoints(id) {
                     None => out.push_str("closed"),
                     Some((a, b)) => {
-                        let (ra, rb) =
-                            (rank[&(CellKind::Vertex, a)], rank[&(CellKind::Vertex, b)]);
+                        let (ra, rb) = (rank[&(CellKind::Vertex, a)], rank[&(CellKind::Vertex, b)]);
                         let (lo, hi) = (ra.min(rb), ra.max(rb));
                         out.push_str(&format!("v{lo}-v{hi}"));
                     }
@@ -465,10 +475,8 @@ mod tests {
         // isomorphic even though the raw geometry differs.
         let square = top(&square_instance());
         let mut pentagon_instance = SpatialInstance::new(Schema::from_names(["P"]));
-        pentagon_instance.set_region(
-            0,
-            Region::polygon(vec![p(0, 0), p(10, 0), p(14, 8), p(5, 14), p(-4, 8)]),
-        );
+        pentagon_instance
+            .set_region(0, Region::polygon(vec![p(0, 0), p(10, 0), p(14, 8), p(5, 14), p(-4, 8)]));
         let pentagon = top(&pentagon_instance);
         assert_eq!(square.canonical_code(), pentagon.canonical_code());
         assert!(square.is_isomorphic_to(&pentagon));
@@ -503,12 +511,10 @@ mod tests {
         instance.set_region(0, region);
         let invariant = top(&instance);
         assert_eq!(invariant.components().len(), 1);
-        let orderings =
-            component_orderings(&invariant, 0, Orientation::CounterClockwise);
+        let orderings = component_orderings(&invariant, 0, Orientation::CounterClockwise);
         assert!(!orderings.is_empty());
         let comp = &invariant.components()[0];
-        let expected_len =
-            comp.vertices.len() + comp.edges.len() + invariant.owned_faces(0).len();
+        let expected_len = comp.vertices.len() + comp.edges.len() + invariant.owned_faces(0).len();
         for ordering in &orderings {
             assert_eq!(ordering.order.len(), expected_len);
             // Every cell appears exactly once.

@@ -51,10 +51,7 @@ impl RegionSet {
 
     /// Membership test.
     pub fn contains(&self, region: usize) -> bool {
-        self.bits
-            .get(region / 64)
-            .map(|w| w & (1 << (region % 64)) != 0)
-            .unwrap_or(false)
+        self.bits.get(region / 64).map(|w| w & (1 << (region % 64)) != 0).unwrap_or(false)
     }
 
     /// True iff no region is present.
@@ -64,10 +61,9 @@ impl RegionSet {
 
     /// The regions present, in increasing order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        self.bits
-            .iter()
-            .enumerate()
-            .flat_map(|(w, bits)| (0..64).filter(move |b| bits & (1 << b) != 0).map(move |b| w * 64 + b))
+        self.bits.iter().enumerate().flat_map(|(w, bits)| {
+            (0..64).filter(move |b| bits & (1 << b) != 0).map(move |b| w * 64 + b)
+        })
     }
 }
 
@@ -217,11 +213,12 @@ impl Complex {
     pub fn live_faces(&self) -> Vec<CellId> {
         let mut out: Vec<CellId> = Vec::new();
         let mut seen = std::collections::HashSet::new();
-        let mut push = |f: CellId, out: &mut Vec<CellId>, seen: &mut std::collections::HashSet<CellId>| {
-            if seen.insert(f) {
-                out.push(f);
-            }
-        };
+        let push =
+            |f: CellId, out: &mut Vec<CellId>, seen: &mut std::collections::HashSet<CellId>| {
+                if seen.insert(f) {
+                    out.push(f);
+                }
+            };
         push(self.exterior_face(), &mut out, &mut seen);
         for e in self.live_edges() {
             let (a, b) = self.edge_sides(e);

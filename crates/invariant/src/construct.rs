@@ -114,8 +114,8 @@ fn complex_from_arrangement(instance: &SpatialInstance, arrangement: &Arrangemen
         let mut in_set = RegionSet::new(region_count);
         let mut bnd_set = RegionSet::new(region_count);
         for region in 0..region_count {
-            let both_faces_in =
-                face_in[edge.face_left].contains(region) && face_in[edge.face_right].contains(region);
+            let both_faces_in = face_in[edge.face_left].contains(region)
+                && face_in[edge.face_right].contains(region);
             let in_region =
                 ring_parity(edge, region) || polyline_covered(edge, region) || both_faces_in;
             if in_region {
@@ -130,7 +130,8 @@ fn complex_from_arrangement(instance: &SpatialInstance, arrangement: &Arrangemen
     }
 
     // Isolated input points per vertex.
-    let mut point_regions: Vec<RegionSet> = vec![RegionSet::new(region_count); arrangement.vertex_count()];
+    let mut point_regions: Vec<RegionSet> =
+        vec![RegionSet::new(region_count); arrangement.vertex_count()];
     let input = instance.to_arrangement_input();
     for (idx, (_, tag)) in input.points.iter().enumerate() {
         let tag = SourceTag::decode(*tag);

@@ -107,10 +107,8 @@ impl TopologicalInvariant {
             .iter()
             .map(|&v| complex.sectors(v).iter().map(|f| fmap[f]).collect())
             .collect();
-        let vertex_isolated_face: Vec<Option<usize>> = live_vertices
-            .iter()
-            .map(|&v| complex.isolated_face(v).map(|f| fmap[&f]))
-            .collect();
+        let vertex_isolated_face: Vec<Option<usize>> =
+            live_vertices.iter().map(|&v| complex.isolated_face(v).map(|f| fmap[&f])).collect();
         let vertex_regions: Vec<RegionSet> =
             live_vertices.iter().map(|&v| complex.vertex_regions(v).clone()).collect();
         let vertex_boundary: Vec<RegionSet> =
@@ -294,7 +292,8 @@ impl TopologicalInvariant {
         (0..self.vertex_count())
             .filter(|&v| {
                 self.vertex_sectors[v].contains(&face)
-                    || (self.vertex_slots[v].is_empty() && self.vertex_isolated_face[v] == Some(face))
+                    || (self.vertex_slots[v].is_empty()
+                        && self.vertex_isolated_face[v] == Some(face))
             })
             .collect()
     }
@@ -459,10 +458,12 @@ impl TopologicalInvariant {
         let mut out = Vec::new();
         // Closed curves.
         for e in 0..self.edge_count() {
-            if self.edge_ends[e].is_none() && (self.edge_sides[e].0 == face || self.edge_sides[e].1 == face) {
+            if self.edge_ends[e].is_none()
+                && (self.edge_sides[e].0 == face || self.edge_sides[e].1 == face)
+            {
                 // A closed curve with the face on both sides appears twice.
-                let occurrences =
-                    (self.edge_sides[e].0 == face) as usize + (self.edge_sides[e].1 == face) as usize;
+                let occurrences = (self.edge_sides[e].0 == face) as usize
+                    + (self.edge_sides[e].1 == face) as usize;
                 for _ in 0..occurrences {
                     out.push(BoundaryComponent::ClosedCurve(e));
                 }
@@ -481,7 +482,9 @@ impl TopologicalInvariant {
                 continue;
             }
             for direction in [0u8, 1u8] {
-                if visited.contains(&(e, direction)) || self.half_edge_left_face(e, direction) != face {
+                if visited.contains(&(e, direction))
+                    || self.half_edge_left_face(e, direction) != face
+                {
                     continue;
                 }
                 let mut walk = Vec::new();
@@ -563,7 +566,7 @@ impl TopologicalInvariant {
     }
 
     /// Exports the invariant with only the *successor* version of the
-    /// orientation relation (4-ary `OrientationSucc`), as in [PSV99]. Used by
+    /// orientation relation (4-ary `OrientationSucc`), as in \[PSV99\]. Used by
     /// the Figure 9 experiment showing that the full cyclic order is needed
     /// for the first-order translation.
     pub fn to_structure_successor_only(&self) -> Structure {

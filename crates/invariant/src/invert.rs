@@ -173,8 +173,7 @@ impl<'a> Layout<'a> {
     fn place_component(&mut self, component: usize, x0: i64, y0: i64, size: i64) {
         let comp = &self.invariant.components()[component];
         if comp.edges.is_empty() {
-            self.component_point[component] =
-                Some(Point::from_ints(x0 + size / 2, y0 + size / 2));
+            self.component_point[component] = Some(Point::from_ints(x0 + size / 2, y0 + size / 2));
             return;
         }
         if !comp.vertices.is_empty() {
@@ -230,11 +229,8 @@ mod tests {
         p_region.add_ring(vec![p(200, 0), p(220, 0), p(220, 20), p(200, 20)]);
         let q_region = Region::rectangle(30, 30, 70, 70);
         let d_region = Region::point_set(vec![p(50, 50)]);
-        let instance = SpatialInstance::from_regions([
-            ("P", p_region),
-            ("Q", q_region),
-            ("D", d_region),
-        ]);
+        let instance =
+            SpatialInstance::from_regions([("P", p_region), ("Q", q_region), ("D", d_region)]);
         let invariant = top(&instance);
         let rebuilt = invert_verified(&invariant).expect("inversion succeeds");
         let rebuilt_invariant = top(&rebuilt);

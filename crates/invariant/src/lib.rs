@@ -27,7 +27,7 @@
 //! 4. [`canonical`] — the parameterised orderings of Lemma 3.1 and the
 //!    canonical code of an invariant (the algorithmic content of Theorems 3.2
 //!    and 3.4); isomorphism of invariants is decided by comparing codes.
-//! 5. [`invert`] — Theorem 2.2: rebuild a semi-linear spatial instance whose
+//! 5. [`invert()`] — Theorem 2.2: rebuild a semi-linear spatial instance whose
 //!    invariant is isomorphic to a given invariant.
 
 pub mod canonical;

@@ -18,8 +18,9 @@ pub fn evaluate_on_invariant(query: &TopologicalQuery, invariant: &TopologicalIn
     match *query {
         TopologicalQuery::Intersects(a, b) => cells_in_both(invariant, a, b).next().is_some(),
         TopologicalQuery::Disjoint(a, b) => cells_in_both(invariant, a, b).next().is_none(),
-        TopologicalQuery::Contains(a, b) => cells_in_region(invariant, b)
-            .all(|(kind, id)| invariant.cell_in_region(kind, id, a)),
+        TopologicalQuery::Contains(a, b) => {
+            cells_in_region(invariant, b).all(|(kind, id)| invariant.cell_in_region(kind, id, a))
+        }
         TopologicalQuery::Equal(a, b) => {
             cells_in_region(invariant, a).all(|(kind, id)| invariant.cell_in_region(kind, id, b))
                 && cells_in_region(invariant, b)
@@ -35,8 +36,11 @@ pub fn evaluate_on_invariant(query: &TopologicalQuery, invariant: &TopologicalIn
             }
             any
         }
-        TopologicalQuery::InteriorsOverlap(a, b) => cells_in_both(invariant, a, b)
-            .any(|(kind, id)| !on_boundary(invariant, kind, id, a) && !on_boundary(invariant, kind, id, b)),
+        TopologicalQuery::InteriorsOverlap(a, b) => {
+            cells_in_both(invariant, a, b).any(|(kind, id)| {
+                !on_boundary(invariant, kind, id, a) && !on_boundary(invariant, kind, id, b)
+            })
+        }
         TopologicalQuery::IsConnected(a) => component_count(invariant, a) <= 1,
         TopologicalQuery::ComponentCountEven(a) => component_count(invariant, a) % 2 == 0,
         TopologicalQuery::HasHole(a) => has_hole(invariant, a),
@@ -67,7 +71,7 @@ pub fn component_count(invariant: &TopologicalInvariant, region: RegionId) -> us
         }
         root
     }
-    let mut union = |parent: &mut Vec<usize>, a: Cell, b: Cell| {
+    let union = |parent: &mut Vec<usize>, a: Cell, b: Cell| {
         if let (Some(&x), Some(&y)) = (index.get(&a), index.get(&b)) {
             let (rx, ry) = (find(parent, x), find(parent, y));
             if rx != ry {
@@ -192,8 +196,7 @@ fn cells_in_both(
     a: RegionId,
     b: RegionId,
 ) -> impl Iterator<Item = Cell> + '_ {
-    cells_in_region(invariant, a)
-        .filter(move |&(kind, id)| invariant.cell_in_region(kind, id, b))
+    cells_in_region(invariant, a).filter(move |&(kind, id)| invariant.cell_in_region(kind, id, b))
 }
 
 #[cfg(test)]
@@ -227,8 +230,14 @@ mod tests {
         assert!(evaluate_on_invariant(&TopologicalQuery::Contains(0, 1), &invariant));
         assert!(!evaluate_on_invariant(&TopologicalQuery::Contains(1, 0), &invariant));
         assert!(evaluate_on_invariant(&TopologicalQuery::Disjoint(1, 2), &invariant));
-        assert!(evaluate_on_invariant(&TopologicalQuery::BoundaryOnlyIntersection(0, 2), &invariant));
-        assert!(!evaluate_on_invariant(&TopologicalQuery::BoundaryOnlyIntersection(0, 1), &invariant));
+        assert!(evaluate_on_invariant(
+            &TopologicalQuery::BoundaryOnlyIntersection(0, 2),
+            &invariant
+        ));
+        assert!(!evaluate_on_invariant(
+            &TopologicalQuery::BoundaryOnlyIntersection(0, 1),
+            &invariant
+        ));
         assert!(evaluate_on_invariant(&TopologicalQuery::InteriorsOverlap(0, 1), &invariant));
         assert!(!evaluate_on_invariant(&TopologicalQuery::InteriorsOverlap(0, 2), &invariant));
         assert!(!evaluate_on_invariant(&TopologicalQuery::Equal(0, 1), &invariant));

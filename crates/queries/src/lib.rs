@@ -6,7 +6,7 @@
 //!   first-order queries, `FO(P, <x, <y)` sentences evaluated by the
 //!   sample-point evaluator of `topo-spatial`;
 //! * **on the topological invariant** (strategies (ii)/(iii)) — combinatorial
-//!   algorithms on [`TopologicalInvariant`] and, for a representative subset,
+//!   algorithms on [`TopologicalInvariant`](topo_invariant::TopologicalInvariant) and, for a representative subset,
 //!   genuine Datalog¬ / fixpoint(+counting) programs executed by
 //!   `topo-relational` on the exported relational structure.
 //!

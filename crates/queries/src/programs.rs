@@ -108,11 +108,7 @@ pub fn datalog_program(query: &TopologicalQuery, schema: &Schema) -> Option<Prog
             let ra = region_relation(schema, a);
             Some(
                 Program::new("Answer")
-                    .rule(Rule::new(
-                        "ReachFace",
-                        vec![v(0)],
-                        vec![pos("ExteriorFace", vec![v(0)])],
-                    ))
+                    .rule(Rule::new("ReachFace", vec![v(0)], vec![pos("ExteriorFace", vec![v(0)])]))
                     .rule(Rule::new(
                         "ReachFace",
                         vec![v(2)],
@@ -148,11 +144,7 @@ pub fn datalog_program(query: &TopologicalQuery, schema: &Schema) -> Option<Prog
 pub fn even_closed_curves_program(schema: &Schema, region: usize) -> Program {
     let ra = region_relation(schema, region);
     Program::new("Answer")
-        .rule(Rule::new(
-            "HasEndpoint",
-            vec![v(0)],
-            vec![pos("EdgeVertex", vec![v(0), v(1)])],
-        ))
+        .rule(Rule::new("HasEndpoint", vec![v(0)], vec![pos("EdgeVertex", vec![v(0), v(1)])]))
         .rule(Rule::new(
             "ClosedCurve",
             vec![v(0)],

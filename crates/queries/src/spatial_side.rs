@@ -24,16 +24,15 @@ pub fn point_formula(query: &TopologicalQuery) -> Option<PointFormula> {
             0,
             Box::new(PointFormula::And(vec![in_region(a, 0), in_region(b, 0)])),
         )),
-        TopologicalQuery::Disjoint(a, b) => Some(PointFormula::Not(Box::new(
-            PointFormula::Exists(
+        TopologicalQuery::Disjoint(a, b) => {
+            Some(PointFormula::Not(Box::new(PointFormula::Exists(
                 0,
                 Box::new(PointFormula::And(vec![in_region(a, 0), in_region(b, 0)])),
-            ),
-        ))),
-        TopologicalQuery::Contains(a, b) => Some(PointFormula::Forall(
-            0,
-            Box::new(in_region(b, 0).implies(in_region(a, 0))),
-        )),
+            ))))
+        }
+        TopologicalQuery::Contains(a, b) => {
+            Some(PointFormula::Forall(0, Box::new(in_region(b, 0).implies(in_region(a, 0)))))
+        }
         TopologicalQuery::Equal(a, b) => Some(PointFormula::And(vec![
             PointFormula::Forall(0, Box::new(in_region(b, 0).implies(in_region(a, 0)))),
             PointFormula::Forall(0, Box::new(in_region(a, 0).implies(in_region(b, 0)))),

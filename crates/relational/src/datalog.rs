@@ -141,7 +141,12 @@ impl Program {
     /// Runs the program on `input` and returns the resulting structure
     /// (input relations plus derived relations). Returns `None` only in
     /// partial-fixpoint mode when no fixpoint is reached within `max_steps`.
-    pub fn run(&self, input: &Structure, semantics: Semantics, max_steps: usize) -> Option<Structure> {
+    pub fn run(
+        &self,
+        input: &Structure,
+        semantics: Semantics,
+        max_steps: usize,
+    ) -> Option<Structure> {
         let derived = self.derived_relations();
         let mut state = input.clone();
         for name in &derived {
@@ -302,12 +307,14 @@ impl Program {
             let tuple: Vec<u32> = rule
                 .head_terms
                 .iter()
-                .map(|t| Self::value(t, binding).unwrap_or_else(|| {
-                    panic!(
-                        "unsafe rule: head variable of {} not bound by the body",
-                        rule.head_relation
-                    )
-                }))
+                .map(|t| {
+                    Self::value(t, binding).unwrap_or_else(|| {
+                        panic!(
+                            "unsafe rule: head variable of {} not bound by the body",
+                            rule.head_relation
+                        )
+                    })
+                })
                 .collect();
             out.push(tuple);
         }
@@ -421,7 +428,11 @@ impl Program {
     }
 
     /// Tries to extend `binding` so the atom's terms match `tuple`.
-    fn unify(terms: &[Term], tuple: &[u32], binding: &HashMap<u32, u32>) -> Option<HashMap<u32, u32>> {
+    fn unify(
+        terms: &[Term],
+        tuple: &[u32],
+        binding: &HashMap<u32, u32>,
+    ) -> Option<HashMap<u32, u32>> {
         if terms.len() != tuple.len() {
             return None;
         }
@@ -468,10 +479,11 @@ mod tests {
 
     fn transitive_closure() -> Program {
         Program::new("T")
-            .rule(Rule::new("T", vec![v(0), v(1)], vec![Literal::Pos {
-                relation: "E".into(),
-                terms: vec![v(0), v(1)],
-            }]))
+            .rule(Rule::new(
+                "T",
+                vec![v(0), v(1)],
+                vec![Literal::Pos { relation: "E".into(), terms: vec![v(0), v(1)] }],
+            ))
             .rule(Rule::new(
                 "T",
                 vec![v(0), v(2)],
@@ -484,7 +496,8 @@ mod tests {
 
     #[test]
     fn transitive_closure_inflationary() {
-        let result = transitive_closure().run(&path(), Semantics::Inflationary, usize::MAX).unwrap();
+        let result =
+            transitive_closure().run(&path(), Semantics::Inflationary, usize::MAX).unwrap();
         let t = result.relation("T").unwrap();
         assert_eq!(t.len(), 6);
         assert!(t.contains(&[0, 3]));
@@ -497,7 +510,10 @@ mod tests {
         let program = transitive_closure().rule(Rule::new(
             "Answer",
             vec![],
-            vec![Literal::Pos { relation: "T".into(), terms: vec![Term::Const(0), Term::Const(3)] }],
+            vec![Literal::Pos {
+                relation: "T".into(),
+                terms: vec![Term::Const(0), Term::Const(3)],
+            }],
         ));
         let program = Program { output: "Answer".into(), ..program };
         assert!(program.eval_boolean(&path()));
@@ -516,10 +532,11 @@ mod tests {
             s.insert("Node", &[i]);
         }
         let program = Program::new("Sink")
-            .rule(Rule::new("HasOut", vec![v(0)], vec![Literal::Pos {
-                relation: "E".into(),
-                terms: vec![v(0), v(1)],
-            }]))
+            .rule(Rule::new(
+                "HasOut",
+                vec![v(0)],
+                vec![Literal::Pos { relation: "E".into(), terms: vec![v(0), v(1)] }],
+            ))
             .rule(Rule::new(
                 "Sink",
                 vec![v(0)],
@@ -546,10 +563,11 @@ mod tests {
             s.insert("Node", &[i]);
         }
         let program = Program::new("Unreachable")
-            .rule(Rule::new("Reach", vec![Term::Const(0)], vec![Literal::Pos {
-                relation: "Node".into(),
-                terms: vec![Term::Const(0)],
-            }]))
+            .rule(Rule::new(
+                "Reach",
+                vec![Term::Const(0)],
+                vec![Literal::Pos { relation: "Node".into(), terms: vec![Term::Const(0)] }],
+            ))
             .rule(Rule::new(
                 "Reach",
                 vec![v(1)],

@@ -84,7 +84,7 @@ impl Formula {
     }
 
     fn collect_free(&self, bound: &mut Vec<u32>, out: &mut Vec<u32>) {
-        let mut push_term = |t: &Term, bound: &Vec<u32>, out: &mut Vec<u32>| {
+        let push_term = |t: &Term, bound: &Vec<u32>, out: &mut Vec<u32>| {
             if let Term::Var(v) = t {
                 if !bound.contains(v) {
                     out.push(*v);
@@ -311,8 +311,10 @@ mod tests {
     fn quantifiers() {
         let s = path();
         // Every element with an outgoing edge has one with an incoming edge: true.
-        let has_out = Formula::Exists(1, Box::new(Formula::atom("E", vec![Term::Var(0), Term::Var(1)])));
-        let has_in = Formula::Exists(2, Box::new(Formula::atom("E", vec![Term::Var(2), Term::Var(0)])));
+        let has_out =
+            Formula::Exists(1, Box::new(Formula::atom("E", vec![Term::Var(0), Term::Var(1)])));
+        let has_in =
+            Formula::Exists(2, Box::new(Formula::atom("E", vec![Term::Var(2), Term::Var(0)])));
         let sentence = Formula::Forall(0, Box::new(has_out.clone().implies(has_out.clone())));
         assert!(sentence.holds(&s));
         // There is a source: an element with outgoing but no incoming edge.
@@ -360,7 +362,8 @@ mod tests {
 
     #[test]
     fn display_round() {
-        let f = Formula::Exists(0, Box::new(Formula::atom("R", vec![Term::Var(0), Term::Const(3)])));
+        let f =
+            Formula::Exists(0, Box::new(Formula::atom("R", vec![Term::Var(0), Term::Const(3)])));
         assert_eq!(format!("{f}"), "∃x0 R(x0, 3)");
     }
 

@@ -157,8 +157,7 @@ fn partial_check(a: &Structure, b: &Structure, mapping: &[Option<u32>], just_map
             if !tuple.contains(&just_mapped) {
                 continue;
             }
-            let image: Option<Vec<u32>> =
-                tuple.iter().map(|&x| mapping[x as usize]).collect();
+            let image: Option<Vec<u32>> = tuple.iter().map(|&x| mapping[x as usize]).collect();
             if let Some(image) = image {
                 if !b.contains(name, &image) {
                     return false;

@@ -17,6 +17,13 @@
 //!   cross-validate the canonical forms computed by `topo-invariant`.
 //! * [`games`] — Ehrenfeucht–Fraïssé games: `FO_r` equivalence of two finite
 //!   structures, used by the Section 4 translation machinery and its tests.
+//!
+//! These are the target languages of the paper's translations: fixpoint and
+//! fixpoint+counting receive the Theorem 4.1/4.2 translations (with
+//! fixpoint+counting capturing PTIME on invariants via Theorem 3.4's order
+//! construction), `FO_inv` receives the single-region Theorem 4.9
+//! translation, and the games implement the `FO_r`-equivalence tests behind
+//! Lemmas 4.6–4.7.
 
 pub mod datalog;
 pub mod fo;

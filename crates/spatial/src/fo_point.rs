@@ -2,7 +2,7 @@
 //!
 //! Variables range over points of the plane; atoms are region membership of a
 //! point, the two coordinate orders `<x` and `<y`, and point equality. The
-//! paper shows (after [PSV99]) that this language expresses exactly the same
+//! paper shows (after \[PSV99\]) that this language expresses exactly the same
 //! *topological* properties as `FO(R,<)`, and all of Section 4's translation
 //! machinery works through it, so the query library of `topo-queries` is
 //! written in this language and lifted to `FO(R,<)` when needed.

@@ -155,7 +155,8 @@ mod tests {
     #[test]
     fn source_tag_roundtrip() {
         for region in 0..5 {
-            for kind in [SourceKind::RingBoundary, SourceKind::Polyline, SourceKind::IsolatedPoint] {
+            for kind in [SourceKind::RingBoundary, SourceKind::Polyline, SourceKind::IsolatedPoint]
+            {
                 let tag = SourceTag { region, kind };
                 assert_eq!(SourceTag::decode(tag.encode()), tag);
             }

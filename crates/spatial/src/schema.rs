@@ -45,10 +45,7 @@ impl Schema {
     /// Panics if the name is already present.
     pub fn add<S: Into<String>>(&mut self, name: S) -> RegionId {
         let name = name.into();
-        assert!(
-            !self.by_name.contains_key(&name),
-            "duplicate region name {name:?} in schema"
-        );
+        assert!(!self.by_name.contains_key(&name), "duplicate region name {name:?} in schema");
         let id = self.names.len();
         self.by_name.insert(name.clone(), id);
         self.names.push(name);

@@ -46,7 +46,11 @@ impl AffineMap {
 
     /// Translation by `(dx, dy)`.
     pub fn translation(dx: i64, dy: i64) -> Self {
-        AffineMap { tx: Rational::from_int(dx), ty: Rational::from_int(dy), ..AffineMap::identity() }
+        AffineMap {
+            tx: Rational::from_int(dx),
+            ty: Rational::from_int(dy),
+            ..AffineMap::identity()
+        }
     }
 
     /// Uniform scaling by a positive rational factor.
@@ -104,10 +108,7 @@ impl AffineMap {
 
     /// Applies the map to a point.
     pub fn apply_point(&self, p: &Point) -> Point {
-        Point::new(
-            self.a * p.x + self.b * p.y + self.tx,
-            self.c * p.x + self.d * p.y + self.ty,
-        )
+        Point::new(self.a * p.x + self.b * p.y + self.tx, self.c * p.x + self.d * p.y + self.ty)
     }
 
     /// Applies the map to a region.

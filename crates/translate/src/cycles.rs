@@ -1,7 +1,7 @@
 //! The Section 4 machinery for single-region schemas: coloured cycles,
 //! r-types, and the (finite-universe) translation into `FO_inv`.
 //!
-//! For a schema with a single region name, [KPV97] shows that topological
+//! For a schema with a single region name, \[KPV97\] shows that topological
 //! elementary equivalence of instances is characterised by the *cone type*:
 //! the multiset of vertices together with the cyclic list of the edges and
 //! faces around them, each labelled by whether it belongs to the region. The
@@ -133,9 +133,8 @@ pub fn equivalent_lemma_4_7(
     let mut counts: Vec<(usize, usize)> = Vec::new();
     for (side, cycles) in [(0usize, &cycles_a), (1usize, &cycles_b)] {
         for cycle in cycles {
-            let class = representatives
-                .iter()
-                .position(|rep| cycles_equivalent(rep, cycle, game_rounds));
+            let class =
+                representatives.iter().position(|rep| cycles_equivalent(rep, cycle, game_rounds));
             match class {
                 Some(i) => {
                     if side == 0 {
@@ -151,9 +150,7 @@ pub fn equivalent_lemma_4_7(
             }
         }
     }
-    counts
-        .iter()
-        .all(|&(ca, cb)| ca == cb || (ca > threshold && cb > threshold))
+    counts.iter().all(|&(ca, cb)| ca == cb || (ca > threshold && cb > threshold))
 }
 
 /// The finite-universe variant of the Theorem 4.9 translator for single-region
@@ -215,10 +212,7 @@ impl SingleRegionTranslator {
                 accepted.push(invariant.clone());
             }
         }
-        (
-            TranslatedFoQuery { r: self.r, region: self.region, accepted },
-            examined,
-        )
+        (TranslatedFoQuery { r: self.r, region: self.region, accepted }, examined)
     }
 }
 
@@ -326,10 +320,8 @@ mod tests {
     #[test]
     fn single_region_translation_roundtrip() {
         // Sentence: "region P is nonempty" (depth 1).
-        let nonempty = PointFormula::Exists(
-            0,
-            Box::new(PointFormula::InRegion { region: 0, var: 0 }),
-        );
+        let nonempty =
+            PointFormula::Exists(0, Box::new(PointFormula::InRegion { region: 0, var: 0 }));
         let candidates = vec![
             cross_instance(),
             single(Region::polyline(vec![

@@ -25,8 +25,8 @@ pub mod orderings;
 pub mod translate;
 
 pub use cycles::{
-    cycles_of, ColoredCycle, CycleColor, SingleRegionTranslator, cycles_equivalent,
-    equivalent_lemma_4_7,
+    cycles_equivalent, cycles_of, equivalent_lemma_4_7, ColoredCycle, CycleColor,
+    SingleRegionTranslator,
 };
 pub use orderings::{all_invariant_orderings, orderings_agree, InvariantOrdering};
 pub use translate::{ordered_copy, TranslatedQuery};

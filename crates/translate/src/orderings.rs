@@ -44,11 +44,8 @@ pub fn all_invariant_orderings(
             if out.len() >= limit {
                 return out;
             }
-            let selected: Vec<&ComponentOrdering> = per_component
-                .iter()
-                .zip(&stack)
-                .map(|(options, &index)| &options[index])
-                .collect();
+            let selected: Vec<&ComponentOrdering> =
+                per_component.iter().zip(&stack).map(|(options, &index)| &options[index]).collect();
             out.push(glue(invariant, orientation, &selected));
             // Advance the mixed-radix counter.
             let mut position = 0;
@@ -129,10 +126,7 @@ mod tests {
             topo_geometry::Point::from_ints(100, 100),
             topo_geometry::Point::from_ints(150, 150),
         ]);
-        SpatialInstance::from_regions([
-            ("P", p),
-            ("Q", Region::rectangle(200, 0, 300, 100)),
-        ])
+        SpatialInstance::from_regions([("P", p), ("Q", Region::rectangle(200, 0, 300, 100))])
     }
 
     #[test]

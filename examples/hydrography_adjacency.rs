@@ -3,7 +3,26 @@
 //! linear instance that can stand in for the original data — and the query
 //! translation pipeline of Theorem 4.1.
 //!
+//! Scenario: a seeded hydrography layer (232 features, 1416 raw points —
+//! lakes containing islands, disjoint rivers and estuaries). The invariant
+//! (507 cells) is inverted into an equivalent linear instance of only 844
+//! points, and a translated FO query agrees on both sides.
+//!
 //! Run with `cargo run --release --example hydrography_adjacency`.
+//! Expected output (exact numbers are deterministic — the workload is
+//! seeded):
+//!
+//! ```text
+//! hydrography layer: 232 features, 1416 raw points
+//! invariant: 507 cells
+//! rebuilt linear instance: 844 points (vs 1416 in the original) — topologically equivalent: true
+//!   lakes intersects rivers                                 -> false
+//!   lakes contains islands                                  -> true
+//!   the interiors of lakes and islands overlap              -> true
+//!   lakes has an even number of connected components        -> true
+//!   number of lakes (components): 108
+//! translated query 'a lake meets a river': on invariant = false, on raw data = false
+//! ```
 
 use topo_core::{PointFormula, TopologicalQuery};
 use topo_datagen::{sequoia_hydro, Scale};

@@ -3,7 +3,15 @@
 //! the invariant, (iii) native algorithms on the invariant, (iv) direct
 //! evaluation on the rebuilt linear instance.
 //!
-//! Run with `cargo run --release --example invariant_vs_direct`.
+//! Scenario: a seeded 196-point hydrography workload and four library
+//! queries (intersection, containment, connectivity, holes), each answered
+//! four ways.
+//!
+//! Run with `cargo run --release --example invariant_vs_direct`. Expected
+//! output: a table with one row per query and one column per strategy in
+//! which every strategy returns the same boolean, and the invariant-side
+//! columns (ii)/(iii) are orders of magnitude faster than direct
+//! evaluation (i) — microseconds against tens of milliseconds.
 
 use std::time::Instant;
 use topo_core::{Semantics, TopologicalQuery};

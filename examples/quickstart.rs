@@ -1,7 +1,24 @@
 //! Quickstart: build a tiny spatial database, compute its topological
 //! invariant, and answer topological queries on either side.
 //!
-//! Run with `cargo run --example quickstart`.
+//! Scenario: a city map with three regions — a park, a lake nested inside
+//! it, and a disjoint industrial zone. The invariant is a tiny relational
+//! structure (2 vertices, 4 edges, 4 faces — 36 bytes), yet it answers all
+//! the topological questions the raw geometry can, and it is unchanged by
+//! stretching and translating the map.
+//!
+//! Run with `cargo run --example quickstart`. Expected output:
+//!
+//! ```text
+//! spatial database: 3 regions, 12 raw points
+//! topological invariant: 2 vertices, 4 edges, 4 faces (36 bytes)
+//!   park contains lake                                      -> true
+//!   park and industry intersect only on their boundaries    -> true
+//!   the interiors of park and industry overlap              -> false
+//!   lake is disjoint from industry                          -> true
+//!   park has a hole                                         -> false
+//! a stretched + translated copy is topologically equivalent: true
+//! ```
 
 use topo_core::{Region, SpatialInstance, TopologicalQuery};
 
@@ -46,11 +63,10 @@ fn main() {
     // Topological equivalence is decided by comparing canonical codes
     // (Theorem 2.1): a stretched and translated copy of the map has the same
     // invariant.
-    let stretched = topo_core::spatial::transform::AffineMap::scaling(
-        topo_core::Rational::new(7, 2),
-    )
-    .compose(&topo_core::spatial::transform::AffineMap::translation(1000, -500))
-    .apply_instance(&instance);
+    let stretched =
+        topo_core::spatial::transform::AffineMap::scaling(topo_core::Rational::new(7, 2))
+            .compose(&topo_core::spatial::transform::AffineMap::translation(1000, -500))
+            .apply_instance(&instance);
     assert!(topo_core::top(&stretched).is_isomorphic_to(&invariant));
     println!("a stretched + translated copy is topologically equivalent: true");
 }

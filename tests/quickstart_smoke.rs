@@ -1,0 +1,31 @@
+//! Pins the numbers quoted by the `topo_core` doctest, the README quickstart
+//! and `examples/quickstart.rs`, so the documented output can never silently
+//! drift from what the code computes.
+
+use topo_core::{Region, SpatialInstance, TopologicalQuery};
+
+/// The nested-rectangles instance used verbatim in the `topo-core` crate
+/// docs and the README.
+fn quickstart_instance() -> SpatialInstance {
+    SpatialInstance::from_regions([
+        ("park", Region::rectangle(0, 0, 100, 100)),
+        ("lake", Region::rectangle(30, 30, 70, 70)),
+    ])
+}
+
+#[test]
+fn quickstart_invariant_has_five_cells() {
+    let invariant = topo_core::top(&quickstart_instance());
+    // Two nested rectangles decompose the plane into 2 ring edges and
+    // 3 faces (exterior, park ring interior, lake interior): 5 cells.
+    assert_eq!(invariant.cell_count(), 5);
+}
+
+#[test]
+fn quickstart_queries_agree_on_both_sides() {
+    let instance = quickstart_instance();
+    let invariant = topo_core::top(&instance);
+    let query = TopologicalQuery::Contains(0, 1);
+    assert!(topo_core::evaluate_on_invariant(&query, &invariant));
+    assert!(topo_core::evaluate_direct(&query, &instance));
+}

@@ -40,7 +40,10 @@ fn inversion_roundtrip_on_invertible_workloads() {
         let rebuilt = topo_core::invert_verified(&invariant)
             .unwrap_or_else(|e| panic!("{name}: inversion failed: {e}"));
         let rebuilt_invariant = topo_core::top(&rebuilt);
-        assert!(rebuilt_invariant.is_isomorphic_to(&invariant), "{name}: round trip broke topology");
+        assert!(
+            rebuilt_invariant.is_isomorphic_to(&invariant),
+            "{name}: round trip broke topology"
+        );
         // The rebuilt instance is usually far smaller than the original.
         assert!(rebuilt.point_count() <= instance.point_count().max(64));
     }

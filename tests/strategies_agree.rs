@@ -60,8 +60,8 @@ fn all_strategies_agree_on_figure1() {
 fn invariant_queries_are_homeomorphism_invariant() {
     let instance = topo_datagen::figure1();
     let invariant = topo_core::top(&instance);
-    let reflected = topo_core::spatial::transform::AffineMap::reflection_x()
-        .apply_instance(&instance);
+    let reflected =
+        topo_core::spatial::transform::AffineMap::reflection_x().apply_instance(&instance);
     let reflected_invariant = topo_core::top(&reflected);
     for query in query_suite(instance.schema().len()) {
         assert_eq!(

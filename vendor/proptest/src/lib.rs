@@ -1,0 +1,329 @@
+//! Offline stand-in for the published
+//! [`proptest`](https://docs.rs/proptest/1) property-testing crate, providing
+//! the API subset this workspace uses:
+//!
+//! * the [`Strategy`] trait with [`Strategy::prop_map`], implemented for
+//!   integer ranges and tuples of strategies,
+//! * [`collection::vec`] for variable-length vectors,
+//! * the [`proptest!`] macro with an optional `#![proptest_config(..)]`
+//!   attribute, plus [`prop_assert!`], [`prop_assert_eq!`],
+//!   [`prop_assert_ne!`], and [`prop_assume!`].
+//!
+//! Unlike the real crate this shim does **no shrinking** and derives its
+//! random stream deterministically from the test name, so failures reproduce
+//! exactly across runs. Swapping the real dependency back in (when a
+//! crates.io registry is reachable) is a manifest-only change.
+
+use std::ops::Range;
+
+pub mod test_runner {
+    //! Test-case configuration and the deterministic RNG driving generation.
+
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` generated inputs per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 32 }
+        }
+    }
+
+    /// Deterministic SplitMix64 stream seeded from the test name, so every
+    /// run of a property test generates the same cases.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the stream from an arbitrary label (typically the test name).
+        pub fn deterministic(label: &str) -> Self {
+            // FNV-1a over the label gives a stable, well-spread seed.
+            let mut hash = 0xcbf2_9ce4_8422_2325u64;
+            for byte in label.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: hash }
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Something that can generate values of type [`Strategy::Value`].
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value from the deterministic stream.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Post-processes every generated value with `map`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, map }
+    }
+}
+
+/// Strategy adaptor produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                let offset = u128::from(rng.next_u64()) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_int_range!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_strategy_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_tuple!(A, B);
+impl_strategy_tuple!(A, B, C);
+impl_strategy_tuple!(A, B, C, D);
+impl_strategy_tuple!(A, B, C, D, E);
+impl_strategy_tuple!(A, B, C, D, E, F);
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a length drawn from `size` and elements drawn
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "cannot sample empty length range");
+        VecStrategy { element, size }
+    }
+
+    /// Strategy produced by [`vec()`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The customary glob import, mirroring `proptest::prelude`.
+
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Strategy};
+}
+
+/// Defines property tests: `fn name(arg in strategy, ..) { body }` items are
+/// expanded into `#[test]` functions running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = <$crate::test_runner::Config as ::core::default::Default>::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;) => {};
+    (config = $config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                let outcome = (|| -> ::core::result::Result<(), ::std::string::String> {
+                    $body;
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(message) = outcome {
+                    panic!("property failed on case {case}: {message}");
+                }
+            }
+        }
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property body. Returns `Err` (rather than
+/// panicking) so the harness can report which generated case failed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a property body, reporting both values on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `(left == right)`\n  left: `{left:?}`,\n right: `{right:?}`"
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `(left == right)`\n  left: `{left:?}`,\n right: `{right:?}`: {}",
+                ::std::format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property body, reporting the value on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left != right) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `(left != right)`\n  both: `{left:?}`"
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left != right) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `(left != right)`\n  both: `{left:?}`: {}",
+                ::std::format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Skips the current generated case when its precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strategy = (0i64..100, 0i64..100).prop_map(|(a, b)| a + b);
+        let mut r1 = crate::test_runner::TestRng::deterministic("x");
+        let mut r2 = crate::test_runner::TestRng::deterministic("x");
+        for _ in 0..50 {
+            assert_eq!(strategy.generate(&mut r1), strategy.generate(&mut r2));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Vectors respect the requested length range.
+        #[test]
+        fn vec_lengths_in_range(v in crate::collection::vec(0i32..10, 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+        }
+
+        #[test]
+        fn assume_skips_cases(a in -10i64..10) {
+            prop_assume!(a >= 0);
+            prop_assert!(a >= 0, "assume should have filtered {}", a);
+        }
+    }
+}

@@ -1,0 +1,15 @@
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    #[should_panic(expected = "property failed on case")]
+    fn failing_property_reports_case(a in 5i64..100) {
+        prop_assert!(a < 5, "generated {} is not below 5", a);
+    }
+
+    #[test]
+    #[should_panic(expected = "left == right")]
+    fn failing_eq_reports_values(a in 1i64..10) {
+        prop_assert_eq!(a, a + 1);
+    }
+}
