@@ -16,7 +16,7 @@
 //!    contains it, using exact even–odd tests;
 //! 6. assemble incidences.
 
-use crate::containment::{innermost, CycleGeometry};
+use crate::containment::{innermost, CycleGeometry, CycleIndex};
 use crate::{ArrEdge, ArrFace, Arrangement, ArrangementInput, EdgeId, FaceId, VertexId};
 use std::collections::HashMap;
 use topo_geometry::{
@@ -85,10 +85,12 @@ impl<'a> Builder<'a> {
                 }
             }
             // Isolated input points lying in the interior of a segment force a
-            // split there as well.
+            // split there as well. One scratch buffer serves every probe.
+            let mut hits: Vec<usize> = Vec::new();
             for (p, _) in &self.input.points {
                 let query = BBox::from_points(&[*p]);
-                for idx in grid.query_box(&query) {
+                grid.query_box_into(&query, &mut hits);
+                for &idx in &hits {
                     if segments[idx].contains_point(p) {
                         splits[idx].push(*p);
                     }
@@ -109,7 +111,9 @@ impl<'a> Builder<'a> {
         for ((segment, source), mut points) in self.input.segments.iter().zip(splits) {
             // Order split points along the segment (all are collinear with it,
             // so squared distance from `a` is monotone in the curve parameter).
-            points.sort_by(|p, q| segment.a.distance_sq(p).cmp(&segment.a.distance_sq(q)));
+            // The exact rational key is computed once per point, not once per
+            // comparison.
+            points.sort_by_cached_key(|p| segment.a.distance_sq(p));
             points.dedup();
             for pair in points.windows(2) {
                 let u = self.intern(pair[0]);
@@ -176,11 +180,13 @@ impl<'a> Builder<'a> {
                 *v2
             }
         };
-        // Position of each edge in the rotation of each of its endpoints.
-        let mut rot_pos: HashMap<(VertexId, EdgeId), usize> = HashMap::new();
+        // Position of each edge in the rotation of each of its endpoints,
+        // as flat per-edge slots (`[at v1, at v2]`) instead of a hash map.
+        let mut rot_pos: Vec<[u32; 2]> = vec![[0, 0]; edges.len()];
         for (v, rot) in rotations.iter().enumerate() {
             for (idx, &e) in rot.iter().enumerate() {
-                rot_pos.insert((v, e), idx);
+                let slot = if edges[e].0 == v { 0 } else { 1 };
+                rot_pos[e][slot] = idx as u32;
             }
         }
         let mut next = vec![usize::MAX; half_count];
@@ -188,7 +194,8 @@ impl<'a> Builder<'a> {
             let twin = h ^ 1;
             let v = origin(twin); // target of h
             let rot = &rotations[v];
-            let pos = rot_pos[&(v, h / 2)];
+            let slot = if edges[h / 2].0 == v { 0 } else { 1 };
+            let pos = rot_pos[h / 2][slot] as usize;
             // Clockwise successor of the twin around the target vertex.
             let prev_edge = rot[(pos + rot.len() - 1) % rot.len()];
             let (v1, _, _) = &edges[prev_edge];
@@ -313,15 +320,17 @@ impl<'a> Builder<'a> {
             let out_half = if *v1 == v { e * 2 } else { e * 2 + 1 };
             outer_cycle_of_comp[c] = cycle_of[out_half];
         }
-        let outer_cycles: std::collections::HashSet<usize> =
-            outer_cycle_of_comp.iter().copied().collect();
+        let mut is_outer_cycle = vec![false; cycle_count];
+        for &c in &outer_cycle_of_comp {
+            is_outer_cycle[c] = true;
+        }
 
         // Faces: the exterior face first, then one face per non-contour cycle.
         let exterior_face: FaceId = 0;
         let mut faces: Vec<ArrFace> = vec![ArrFace { bounded: false, ..Default::default() }];
         let mut face_of_cycle: Vec<Option<FaceId>> = vec![None; cycle_count];
         for cycle in 0..cycle_count {
-            if !outer_cycles.contains(&cycle) {
+            if !is_outer_cycle[cycle] {
                 faces.push(ArrFace { bounded: true, ..Default::default() });
                 face_of_cycle[cycle] = Some(faces.len() - 1);
             }
@@ -357,12 +366,21 @@ impl<'a> Builder<'a> {
             .map(|&c| cycle_geometry[c].clone().expect("geometry for bounded cycle"))
             .collect();
 
+        // Index of positive-cycle bounding boxes: each nesting probe below
+        // only runs exact point-in-cycle tests against cycles whose box can
+        // contain it, instead of scanning every positive cycle.
+        let cycle_index = CycleIndex::build(&all_geometry);
+        let mut candidates: Vec<usize> = Vec::new();
+
         // Nest every component: its outer contour becomes a boundary cycle of
         // the face that contains the component.
         let mut parent_face_of_comp: Vec<FaceId> = vec![exterior_face; comp_count];
         for (c, &min_v) in comp_min_vertex.iter().enumerate() {
             let probe = self.vertices[min_v];
-            let containers: Vec<usize> = (0..positive_cycles.len())
+            cycle_index.candidates_into(&probe, &mut candidates);
+            let containers: Vec<usize> = candidates
+                .iter()
+                .copied()
                 .filter(|&k| {
                     cycle_component[positive_cycles[k]] != Some(c)
                         && all_geometry[k].contains(&probe)
@@ -387,8 +405,9 @@ impl<'a> Builder<'a> {
                 continue;
             }
             let probe = self.vertices[v];
+            cycle_index.candidates_into(&probe, &mut candidates);
             let containers: Vec<usize> =
-                (0..positive_cycles.len()).filter(|&k| all_geometry[k].contains(&probe)).collect();
+                candidates.iter().copied().filter(|&k| all_geometry[k].contains(&probe)).collect();
             let face = if containers.is_empty() {
                 exterior_face
             } else {
@@ -410,23 +429,25 @@ impl<'a> Builder<'a> {
                 face_right,
             });
         }
-        let mut face_edge_sets: Vec<std::collections::HashSet<EdgeId>> =
-            vec![std::collections::HashSet::new(); faces.len()];
-        let mut face_vertex_sets: Vec<std::collections::HashSet<VertexId>> =
-            vec![std::collections::HashSet::new(); faces.len()];
+        // Face boundaries accumulate on flat vectors and deduplicate with
+        // sort + dedup; the boundary lists come out sorted as before.
+        let mut face_edge_lists: Vec<Vec<EdgeId>> = vec![Vec::new(); faces.len()];
+        let mut face_vertex_lists: Vec<Vec<VertexId>> = vec![Vec::new(); faces.len()];
         for h in 0..edges.len() * 2 {
             let face = face_of_cycle[cycle_of[h]].unwrap();
-            face_edge_sets[face].insert(h / 2);
-            face_vertex_sets[face].insert(origin(h));
+            face_edge_lists[face].push(h / 2);
+            face_vertex_lists[face].push(origin(h));
         }
         for &(v, face) in &isolated {
-            face_vertex_sets[face].insert(v);
+            face_vertex_lists[face].push(v);
         }
         for (f, face) in faces.iter_mut().enumerate() {
-            let mut es: Vec<EdgeId> = face_edge_sets[f].iter().copied().collect();
+            let mut es = std::mem::take(&mut face_edge_lists[f]);
             es.sort_unstable();
-            let mut vs: Vec<VertexId> = face_vertex_sets[f].iter().copied().collect();
+            es.dedup();
+            let mut vs = std::mem::take(&mut face_vertex_lists[f]);
             vs.sort_unstable();
+            vs.dedup();
             face.boundary_edges = es;
             face.boundary_vertices = vs;
         }

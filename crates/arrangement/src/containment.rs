@@ -8,7 +8,7 @@
 //! belongs to a different connected component of the arrangement, and
 //! distinct components are disjoint point sets).
 
-use topo_geometry::{point_on_segment, Point, Rational};
+use topo_geometry::{point_on_segment, BoxLattice, Point, Rational};
 
 /// A face-boundary cycle given by its sequence of directed edges
 /// (`from` -> `to` coordinates).
@@ -35,16 +35,24 @@ impl CycleGeometry {
         CycleGeometry { directed, bbox }
     }
 
+    /// Safety margin compensating for `f64` rounding of rational coordinates:
+    /// widening a box by this much makes the float box test conservative.
+    fn bbox_eps(&self) -> f64 {
+        1e-6 * (1.0 + self.bbox.2.abs().max(self.bbox.3.abs()))
+    }
+
+    /// The cycle's bounding box widened by [`CycleGeometry::bbox_eps`]; a
+    /// point outside this box is certainly not enclosed by the cycle.
+    fn widened_bbox(&self) -> (f64, f64, f64, f64) {
+        let eps = self.bbox_eps();
+        (self.bbox.0 - eps, self.bbox.1 - eps, self.bbox.2 + eps, self.bbox.3 + eps)
+    }
+
     /// Quick conservative rejection: true if the point may lie inside.
     fn bbox_may_contain(&self, p: &Point) -> bool {
         let (x, y) = p.to_f64();
-        // Widen by a small epsilon so f64 rounding can never cause a false
-        // rejection of a point that is exactly on the box boundary.
-        let eps = 1e-6 * (1.0 + self.bbox.2.abs().max(self.bbox.3.abs()));
-        x >= self.bbox.0 - eps
-            && x <= self.bbox.2 + eps
-            && y >= self.bbox.1 - eps
-            && y <= self.bbox.3 + eps
+        let (x0, y0, x1, y1) = self.widened_bbox();
+        x >= x0 && x <= x1 && y >= y0 && y <= y1
     }
 
     /// Even–odd containment of `p` in the region enclosed by the cycle.
@@ -96,6 +104,44 @@ impl CycleGeometry {
             }
         }
         None
+    }
+}
+
+/// A pruning index over the (widened) `f64` bounding boxes of a set of
+/// cycles, backed by the shared flat-CSR [`BoxLattice`].
+///
+/// Nesting a component or an isolated vertex into a face requires exact
+/// point-in-cycle tests against every candidate container. Scanning all
+/// positive cycles per probe is `O(components × cycles)`; this index narrows
+/// each probe to the cycles whose bounding box can actually contain the probe
+/// point, so exact tests only run against genuine candidates. Purely a
+/// pruning structure: registration uses each cycle's conservatively widened
+/// box, so no true container is ever missed, and callers re-check every
+/// candidate exactly.
+pub(crate) struct CycleIndex {
+    lattice: BoxLattice,
+}
+
+impl CycleIndex {
+    /// Builds the index over the given cycles (indices into the slice are
+    /// what queries report).
+    pub(crate) fn build(cycles: &[CycleGeometry]) -> Self {
+        let boxes: Vec<(f64, f64, f64, f64)> = cycles.iter().map(|c| c.widened_bbox()).collect();
+        // Outer contours span the whole map and register everywhere, so the
+        // lattice stays coarse (at most 512 cells per side).
+        CycleIndex { lattice: BoxLattice::build(&boxes, 512) }
+    }
+
+    /// Fills `out` with the indices of every cycle whose widened bounding box
+    /// may contain `p` (a superset of the cycles actually enclosing `p`:
+    /// each cycle is registered in every cell its widened box overlaps, and
+    /// out-of-lattice probes clamp to the border cell, which cannot lose a
+    /// container because a point outside the global bounds is outside every
+    /// cycle).
+    pub(crate) fn candidates_into(&self, p: &Point, out: &mut Vec<usize>) {
+        out.clear();
+        let (x, y) = p.to_f64();
+        out.extend(self.lattice.point_bucket(x, y).iter().map(|&i| i as usize));
     }
 }
 
@@ -203,5 +249,38 @@ mod tests {
     fn crossing_x_exact() {
         let x = crossing_x(&p(0, 0), &p(10, 10), Rational::from_int(5));
         assert_eq!(x, Rational::from_int(5));
+    }
+
+    #[test]
+    fn cycle_index_candidates_are_a_superset_of_containers() {
+        // A field of small squares plus one map-spanning outer square.
+        let mut cycles = Vec::new();
+        for i in 0..8i64 {
+            for j in 0..8i64 {
+                cycles.push(square_cycle(i * 100, j * 100, 60));
+            }
+        }
+        cycles.push(square_cycle(-10, -10, 900));
+        let index = CycleIndex::build(&cycles);
+        let mut candidates = Vec::new();
+        for probe in [p(30, 30), p(130, 430), p(770, 50), p(-5, -5), p(2000, 2000)] {
+            index.candidates_into(&probe, &mut candidates);
+            for (k, cycle) in cycles.iter().enumerate() {
+                if cycle.contains(&probe) {
+                    assert!(
+                        candidates.contains(&k),
+                        "index missed container {k} for probe {probe:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_index_empty() {
+        let index = CycleIndex::build(&[]);
+        let mut candidates = vec![7usize];
+        index.candidates_into(&p(0, 0), &mut candidates);
+        assert!(candidates.is_empty());
     }
 }

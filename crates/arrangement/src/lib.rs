@@ -28,8 +28,12 @@
 
 mod build;
 mod containment;
+#[cfg(feature = "naive-reference")]
+pub mod naive;
 
 pub use build::build_arrangement;
+#[cfg(feature = "naive-reference")]
+pub use naive::build_arrangement_naive;
 
 use topo_geometry::Point;
 

@@ -1,0 +1,221 @@
+//! Machine-readable perf baseline runner.
+//!
+//! Measures the `geometry → arrangement → invariant` construction path stage
+//! by stage on the seeded cartographic workloads, at three datagen scales,
+//! against the frozen pre-optimisation reference path
+//! (`topo_core::top_naive`), and writes the medians to a JSON file so every
+//! perf PR has a recorded trajectory to beat. `BENCH_2.json` at the
+//! repository root is the committed baseline; see DESIGN.md, "Performance".
+//!
+//! ```text
+//! bench_runner [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` drops the sample count (for CI smoke coverage); the default
+//! sample count matches the committed baseline. Requires the
+//! `naive-reference` feature:
+//!
+//! ```text
+//! cargo run --release -p topo-bench --features naive-reference \
+//!     --bin bench_runner -- --quick --out BENCH_ci.json
+//! ```
+
+use std::time::Instant;
+use topo_core::{SpatialInstance, TopologicalInvariant};
+use topo_datagen::{ign_city, sequoia_hydro, sequoia_landcover, Scale};
+
+const FULL_SAMPLES: usize = 15;
+const QUICK_SAMPLES: usize = 5;
+const GRIDS: [usize; 3] = [8, 16, 28];
+const SEED: u64 = 7;
+
+/// Median of the timed samples of one closure, in nanoseconds.
+fn median_ns<T>(samples: usize, mut f: impl FnMut() -> T) -> u128 {
+    median_ns_with(samples, || (), |()| f())
+}
+
+/// Like [`median_ns`], but re-running an untimed `setup` before every timed
+/// sample, so mutating stages can be measured in isolation.
+fn median_ns_with<S, T>(
+    samples: usize,
+    mut setup: impl FnMut() -> S,
+    mut f: impl FnMut(S) -> T,
+) -> u128 {
+    let mut times: Vec<u128> = (0..samples)
+        .map(|_| {
+            let state = setup();
+            let start = Instant::now();
+            std::hint::black_box(f(state));
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+struct ScaleReport {
+    grid: usize,
+    cells: usize,
+    /// (stage name, optimised median ns).
+    stages: Vec<(&'static str, u128)>,
+    naive_arrangement_ns: u128,
+    naive_top_ns: u128,
+}
+
+impl ScaleReport {
+    fn stage(&self, name: &str) -> u128 {
+        self.stages.iter().find(|(n, _)| *n == name).expect("stage present").1
+    }
+
+    fn top_speedup(&self) -> f64 {
+        self.naive_top_ns as f64 / self.stage("top") as f64
+    }
+
+    fn arrangement_speedup(&self) -> f64 {
+        self.naive_arrangement_ns as f64 / self.stage("arrangement") as f64
+    }
+}
+
+fn measure_scale(instance: &SpatialInstance, grid: usize, samples: usize) -> ScaleReport {
+    // Every stage is timed in isolation (its inputs are prepared untimed),
+    // so the recorded medians are genuinely per-stage; `top` is the
+    // end-to-end total.
+    let input = instance.to_arrangement_input();
+    let arrangement_ns = median_ns(samples, || topo_core::arrangement::build_arrangement(&input));
+    let arrangement = topo_core::arrangement::build_arrangement(&input);
+    let classify_ns = median_ns(samples, || {
+        topo_core::invariant::construct::classify_arrangement(instance, &input, &arrangement)
+    });
+    let reduce_ns = median_ns_with(
+        samples,
+        || topo_core::invariant::construct::classify_arrangement(instance, &input, &arrangement),
+        |mut complex| {
+            complex.reduce();
+            complex
+        },
+    );
+    let complex = {
+        let mut complex = topo_core::invariant::build_complex(instance);
+        complex.reduce();
+        complex
+    };
+    let freeze_ns = median_ns(samples, || {
+        TopologicalInvariant::from_complex(&complex, instance.schema().clone())
+    });
+    let top_ns = median_ns(samples, || topo_core::top(instance));
+    let naive_arrangement_ns =
+        median_ns(samples, || topo_core::arrangement::build_arrangement_naive(&input));
+    let naive_top_ns = median_ns(samples, || topo_core::top_naive(instance));
+    // Cheap re-freeze of the already-reduced complex; avoids one more full
+    // end-to-end run just to read the cell count.
+    let cells =
+        TopologicalInvariant::from_complex(&complex, instance.schema().clone()).cell_count();
+    ScaleReport {
+        grid,
+        cells,
+        stages: vec![
+            ("arrangement", arrangement_ns),
+            ("classify", classify_ns),
+            ("reduce", reduce_ns),
+            ("freeze", freeze_ns),
+            ("top", top_ns),
+        ],
+        naive_arrangement_ns,
+        naive_top_ns,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    // Quick mode never overwrites the committed 15-sample baseline unless
+    // the caller passes `--out BENCH_2.json` explicitly.
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| {
+            if quick {
+                "BENCH_quick.json".to_string()
+            } else {
+                "BENCH_2.json".to_string()
+            }
+        });
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: bench_runner [--quick] [--out PATH]");
+        return;
+    }
+    let samples = if quick { QUICK_SAMPLES } else { FULL_SAMPLES };
+
+    let workloads: Vec<(&str, Box<dyn Fn(usize) -> SpatialInstance>)> = vec![
+        ("sequoia_landcover", Box::new(|grid| sequoia_landcover(Scale { grid }, SEED))),
+        ("sequoia_hydro", Box::new(|grid| sequoia_hydro(Scale { grid }, SEED))),
+        ("ign_city", Box::new(|grid| ign_city(Scale { grid }, SEED))),
+    ];
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"id\": \"BENCH_2\",\n");
+    out.push_str(
+        "  \"description\": \"top(I) construction: per-stage medians and speedup vs the \
+         frozen pre-optimisation reference path (naive seed arrangement + slow-mode \
+         rational arithmetic)\",\n",
+    );
+    out.push_str(&format!("  \"mode\": \"{}\",\n", if quick { "quick" } else { "full" }));
+    out.push_str(&format!("  \"samples\": {samples},\n"));
+    out.push_str(&format!("  \"datagen_seed\": {SEED},\n"));
+    out.push_str("  \"workloads\": [\n");
+
+    for (w, (name, gen)) in workloads.iter().enumerate() {
+        eprintln!("== {name} ==");
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", json_escape(name)));
+        out.push_str("      \"scales\": [\n");
+        for (g, &grid) in GRIDS.iter().enumerate() {
+            let instance = gen(grid);
+            let report = measure_scale(&instance, grid, samples);
+            eprintln!(
+                "  grid {:>2}: cells {:>6}  top {:>12} ns  naive_top {:>12} ns  speedup {:>5.2}x \
+                 (arrangement {:>5.2}x)",
+                grid,
+                report.cells,
+                report.stage("top"),
+                report.naive_top_ns,
+                report.top_speedup(),
+                report.arrangement_speedup(),
+            );
+            out.push_str("        {\n");
+            out.push_str(&format!("          \"grid\": {},\n", report.grid));
+            out.push_str(&format!("          \"cells\": {},\n", report.cells));
+            out.push_str("          \"stages_median_ns\": {");
+            for (s, (stage, ns)) in report.stages.iter().enumerate() {
+                if s > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{stage}\": {ns}"));
+            }
+            out.push_str("},\n");
+            out.push_str(&format!(
+                "          \"naive_median_ns\": {{\"arrangement\": {}, \"top\": {}}},\n",
+                report.naive_arrangement_ns, report.naive_top_ns
+            ));
+            out.push_str(&format!(
+                "          \"speedup\": {{\"arrangement\": {:.2}, \"top\": {:.2}}}\n",
+                report.arrangement_speedup(),
+                report.top_speedup()
+            ));
+            out.push_str(if g + 1 < GRIDS.len() { "        },\n" } else { "        }\n" });
+        }
+        out.push_str("      ]\n");
+        out.push_str(if w + 1 < workloads.len() { "    },\n" } else { "    }\n" });
+    }
+    out.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &out).expect("write benchmark baseline");
+    eprintln!("wrote {out_path}");
+}

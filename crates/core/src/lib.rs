@@ -48,6 +48,8 @@ pub use topo_spatial as spatial;
 pub use topo_translate as translate;
 
 pub use topo_geometry::{Point, Rational};
+#[cfg(feature = "naive-reference")]
+pub use topo_invariant::top_naive;
 pub use topo_invariant::{
     invert, invert_verified, top, top_unreduced, InvariantStats, TopologicalInvariant,
 };

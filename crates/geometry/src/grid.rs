@@ -7,17 +7,19 @@
 //! segment bounding boxes. The grid is purely a *pruning* structure: every
 //! candidate pair is verified with the exact predicates afterwards, and the
 //! conservative box test guarantees no intersecting pair is missed.
+//!
+//! The cell lattice itself is the shared flat-CSR [`BoxLattice`];
+//! deduplication uses sort + dedup on plain vectors instead of hash sets,
+//! and queries can reuse a caller-provided scratch buffer
+//! ([`SegmentGrid::query_box_into`]).
 
 use crate::bbox::BBox;
+use crate::lattice::BoxLattice;
 use crate::segment::Segment;
-use std::collections::HashMap;
 
 /// A uniform spatial hash over segments.
 pub struct SegmentGrid {
-    cell_size: f64,
-    min_x: f64,
-    min_y: f64,
-    cells: HashMap<(i64, i64), Vec<usize>>,
+    lattice: BoxLattice,
     boxes: Vec<BBox>,
 }
 
@@ -25,98 +27,56 @@ impl SegmentGrid {
     /// Builds a grid over the given segments.
     ///
     /// The cell size is chosen so the expected number of segments per cell is
-    /// a small constant for uniformly spread data.
+    /// a small constant for uniformly spread data (at most ~2048 cells per
+    /// side, and a total cell count linear in the segment count).
     pub fn build(segments: &[Segment]) -> Self {
         let boxes: Vec<BBox> = segments.iter().map(|s| s.bbox()).collect();
-        let mut min_x = f64::INFINITY;
-        let mut min_y = f64::INFINITY;
-        let mut max_x = f64::NEG_INFINITY;
-        let mut max_y = f64::NEG_INFINITY;
-        let mut total_extent = 0.0f64;
-        for b in &boxes {
-            let (x0, y0, x1, y1) = b.to_f64();
-            min_x = min_x.min(x0);
-            min_y = min_y.min(y0);
-            max_x = max_x.max(x1);
-            max_y = max_y.max(y1);
-            total_extent += (x1 - x0).max(y1 - y0);
-        }
-        if boxes.is_empty() {
-            return SegmentGrid {
-                cell_size: 1.0,
-                min_x: 0.0,
-                min_y: 0.0,
-                cells: HashMap::new(),
-                boxes,
-            };
-        }
-        let avg_extent = (total_extent / boxes.len() as f64).max(1e-9);
-        let span = (max_x - min_x).max(max_y - min_y).max(1e-9);
-        // Cells roughly the size of an average segment, clamped so the grid
-        // never exceeds ~2048 cells per side.
-        let cell_size = avg_extent.max(span / 2048.0);
-        let mut grid = SegmentGrid { cell_size, min_x, min_y, cells: HashMap::new(), boxes };
-        for i in 0..segments.len() {
-            let (cx0, cy0, cx1, cy1) = grid.cell_range(&grid.boxes[i]);
-            for cx in cx0..=cx1 {
-                for cy in cy0..=cy1 {
-                    grid.cells.entry((cx, cy)).or_default().push(i);
-                }
-            }
-        }
-        grid
-    }
-
-    fn cell_range(&self, b: &BBox) -> (i64, i64, i64, i64) {
-        let (x0, y0, x1, y1) = b.to_f64();
-        (
-            ((x0 - self.min_x) / self.cell_size).floor() as i64,
-            ((y0 - self.min_y) / self.cell_size).floor() as i64,
-            ((x1 - self.min_x) / self.cell_size).floor() as i64,
-            ((y1 - self.min_y) / self.cell_size).floor() as i64,
-        )
+        let f64_boxes: Vec<(f64, f64, f64, f64)> = boxes.iter().map(|b| b.to_f64()).collect();
+        SegmentGrid { lattice: BoxLattice::build(&f64_boxes, 2048), boxes }
     }
 
     /// All pairs `(i, j)` with `i < j` whose grid cells overlap and whose
     /// exact bounding boxes intersect. Every actually-intersecting pair of
     /// segments is included.
     pub fn candidate_pairs(&self) -> Vec<(usize, usize)> {
-        let mut pairs = Vec::new();
-        let mut seen = std::collections::HashSet::new();
-        for bucket in self.cells.values() {
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        for bucket in self.lattice.occupied_buckets() {
             for (k, &i) in bucket.iter().enumerate() {
                 for &j in &bucket[k + 1..] {
-                    let key = if i < j { (i, j) } else { (j, i) };
-                    if seen.insert(key) && self.boxes[key.0].intersects(&self.boxes[key.1]) {
-                        pairs.push(key);
-                    }
+                    pairs.push(if i < j { (i, j) } else { (j, i) });
                 }
             }
         }
+        // Segments sharing several cells produce the same pair repeatedly;
+        // sort + dedup replaces the hash set the seed used here.
+        pairs.sort_unstable();
+        pairs.dedup();
         pairs
+            .into_iter()
+            .filter(|&(i, j)| self.boxes[i as usize].intersects(&self.boxes[j as usize]))
+            .map(|(i, j)| (i as usize, j as usize))
+            .collect()
     }
 
-    /// Indices of segments whose bounding box intersects `query`.
+    /// Indices of segments whose bounding box intersects `query`, sorted
+    /// ascending.
     pub fn query_box(&self, query: &BBox) -> Vec<usize> {
-        if self.boxes.is_empty() {
-            return Vec::new();
-        }
-        let (cx0, cy0, cx1, cy1) = self.cell_range(query);
-        let mut out = std::collections::HashSet::new();
-        for cx in cx0..=cx1 {
-            for cy in cy0..=cy1 {
-                if let Some(bucket) = self.cells.get(&(cx, cy)) {
-                    for &i in bucket {
-                        if self.boxes[i].intersects(query) {
-                            out.insert(i);
-                        }
-                    }
-                }
+        let mut out = Vec::new();
+        self.query_box_into(query, &mut out);
+        out
+    }
+
+    /// Like [`SegmentGrid::query_box`], but clearing and filling a
+    /// caller-provided buffer so repeated probes perform no allocation.
+    pub fn query_box_into(&self, query: &BBox, out: &mut Vec<usize>) {
+        out.clear();
+        self.lattice.for_each_in_range(query.to_f64(), |i| {
+            if self.boxes[i as usize].intersects(query) {
+                out.push(i as usize);
             }
-        }
-        let mut v: Vec<usize> = out.into_iter().collect();
-        v.sort_unstable();
-        v
+        });
+        out.sort_unstable();
+        out.dedup();
     }
 }
 
@@ -165,9 +125,25 @@ mod tests {
     }
 
     #[test]
+    fn candidate_pairs_are_sorted_and_unique() {
+        let segments =
+            vec![seg(0, 0, 10, 10), seg(0, 10, 10, 0), seg(2, 2, 8, 8), seg(5, 0, 5, 10)];
+        let pairs = grid_pairs(&segments);
+        let mut sorted = pairs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(pairs, sorted);
+    }
+
+    fn grid_pairs(segments: &[Segment]) -> Vec<(usize, usize)> {
+        SegmentGrid::build(segments).candidate_pairs()
+    }
+
+    #[test]
     fn empty_grid() {
         let grid = SegmentGrid::build(&[]);
         assert!(grid.candidate_pairs().is_empty());
+        assert!(grid.query_box(&BBox::from_points(&[Point::from_ints(0, 0)])).is_empty());
     }
 
     #[test]
@@ -177,5 +153,31 @@ mod tests {
         let q = BBox::from_points(&[Point::from_ints(0, 0), Point::from_ints(2, 2)]);
         let hits = grid.query_box(&q);
         assert_eq!(hits, vec![0, 2]);
+    }
+
+    #[test]
+    fn query_box_reuses_scratch_buffer() {
+        let segments = vec![seg(0, 0, 1, 1), seg(10, 10, 11, 11), seg(0, 1, 1, 0)];
+        let grid = SegmentGrid::build(&segments);
+        let mut scratch = vec![99usize; 8];
+        let q1 = BBox::from_points(&[Point::from_ints(0, 0), Point::from_ints(2, 2)]);
+        grid.query_box_into(&q1, &mut scratch);
+        assert_eq!(scratch, vec![0, 2]);
+        let q2 = BBox::from_points(&[Point::from_ints(10, 10)]);
+        grid.query_box_into(&q2, &mut scratch);
+        assert_eq!(scratch, vec![1]);
+    }
+
+    #[test]
+    fn query_far_outside_the_data_is_cheap_and_empty() {
+        let segments = vec![seg(0, 0, 1, 1)];
+        let grid = SegmentGrid::build(&segments);
+        // A box billions of cells away: the clamped cell range must not walk
+        // the lattice, and the exact box filter must reject the lone segment.
+        let q = BBox::from_points(&[
+            Point::from_ints(5_000_000_000, 5_000_000_000),
+            Point::from_ints(9_000_000_000, 9_000_000_000),
+        ]);
+        assert!(grid.query_box(&q).is_empty());
     }
 }

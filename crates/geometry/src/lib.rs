@@ -26,6 +26,7 @@
 pub mod angle;
 pub mod bbox;
 pub mod grid;
+pub mod lattice;
 pub mod point;
 pub mod predicates;
 pub mod rational;
@@ -34,7 +35,10 @@ pub mod segment;
 pub use angle::{pseudo_angle_cmp, DirectionVector};
 pub use bbox::BBox;
 pub use grid::SegmentGrid;
+pub use lattice::BoxLattice;
 pub use point::Point;
 pub use predicates::{orientation, point_on_segment, Orientation};
+#[cfg(feature = "naive-reference")]
+pub use rational::slow_mode;
 pub use rational::Rational;
 pub use segment::{Segment, SegmentIntersection};

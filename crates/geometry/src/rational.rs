@@ -8,14 +8,70 @@
 //! Arithmetic uses `i128` with a pre-reduction step (the classical
 //! `a/b * c/d = (a/gcd(a,d)) * (c/gcd(c,b)) / ...` trick) so intermediate
 //! products stay as small as possible; overflow panics rather than silently
-//! wrapping. Comparison is always exact: cross products are evaluated with a
-//! 256-bit widening multiply, so even rationals near the `i128` limits compare
-//! correctly.
+//! wrapping. Integer operands (`den == 1`, the overwhelmingly common case for
+//! cartographic input data) take gcd-free fast paths whose results are
+//! canonical by construction. Comparison is always exact: a checked `i128`
+//! cross product is tried first, falling back to a 256-bit widening multiply
+//! for rationals near the `i128` limits.
 
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Benchmark-only escape hatch forcing every operation down the
+/// always-canonicalising slow path, so the perf harness can measure the
+/// pre-optimisation arithmetic against the fast paths *in the same binary*.
+///
+/// The toggle is process-global: while any [`slow_mode::SlowGuard`] is alive,
+/// all `Rational` arithmetic on all threads takes the slow path. Both paths
+/// produce identical canonical values, so concurrent use can only affect
+/// timing, never results. Compiled only with the `naive-reference` feature;
+/// without it the fast-path checks are compile-time constants.
+#[cfg(feature = "naive-reference")]
+pub mod slow_mode {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static DEPTH: AtomicUsize = AtomicUsize::new(0);
+
+    /// RAII guard: slow mode is active while at least one guard is alive.
+    #[derive(Debug)]
+    pub struct SlowGuard(());
+
+    impl SlowGuard {
+        /// Enters slow mode (re-entrant).
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Self {
+            DEPTH.fetch_add(1, Ordering::Relaxed);
+            SlowGuard(())
+        }
+    }
+
+    impl Drop for SlowGuard {
+        fn drop(&mut self) {
+            DEPTH.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// True iff slow mode is currently active.
+    pub fn active() -> bool {
+        DEPTH.load(Ordering::Relaxed) > 0
+    }
+}
+
+/// True when the small-value fast paths may be taken. Constant `true` in
+/// normal builds; consults [`slow_mode`] under the `naive-reference` feature.
+#[inline(always)]
+fn fast_paths() -> bool {
+    #[cfg(feature = "naive-reference")]
+    {
+        !slow_mode::active()
+    }
+    #[cfg(not(feature = "naive-reference"))]
+    {
+        true
+    }
+}
 
 /// An exact rational number `num / den` with `den > 0` and the fraction fully
 /// reduced.
@@ -145,7 +201,20 @@ impl Rational {
 
     /// The arithmetic mean of `self` and `other`.
     pub fn midpoint(&self, other: &Rational) -> Rational {
-        (*self + *other) / Rational::from_int(2)
+        if !fast_paths() {
+            return (*self + *other) / Rational::from_int(2);
+        }
+        // Halve the (canonical) sum directly instead of routing through
+        // `Div`'s two cross-reduction gcds: with s = n/d reduced, either n is
+        // even and (n/2)/d is already reduced (any common divisor of n/2 and
+        // d divides gcd(n, d) = 1), or n is odd and n/(2d) is reduced
+        // (gcd(n, 2) = 1 and gcd(n, d) = 1).
+        let sum = *self + *other;
+        if sum.num % 2 == 0 {
+            Rational { num: sum.num / 2, den: sum.den }
+        } else {
+            Rational { num: sum.num, den: Rational::checked_mul_i128(sum.den, 2) }
+        }
     }
 
     /// Minimum of two rationals.
@@ -201,7 +270,22 @@ impl PartialOrd for Rational {
 
 impl Ord for Rational {
     fn cmp(&self, other: &Self) -> Ordering {
-        // a/b vs c/d  (b, d > 0)  ⇔  a*d vs c*b, computed in 256 bits.
+        // a/b vs c/d  (b, d > 0)  ⇔  a*d vs c*b.
+        if fast_paths() {
+            // Equal denominators (in particular den == 1, the overwhelmingly
+            // common case for integer input data) compare by numerator alone.
+            if self.den == other.den {
+                return self.num.cmp(&other.num);
+            }
+            // Checked i128 cross products cover everything except values near
+            // the i128 limits.
+            if let (Some(l), Some(r)) =
+                (self.num.checked_mul(other.den), other.num.checked_mul(self.den))
+            {
+                return l.cmp(&r);
+            }
+        }
+        // Exact fallback: 256-bit widening cross products.
         cmp_wide(wide_mul(self.num, other.den), wide_mul(other.num, self.den))
     }
 }
@@ -209,6 +293,11 @@ impl Ord for Rational {
 impl Add for Rational {
     type Output = Rational;
     fn add(self, rhs: Rational) -> Rational {
+        // Integers need no gcd and no renormalisation: the sum is canonical.
+        if fast_paths() && self.den == 1 && rhs.den == 1 {
+            let num = self.num.checked_add(rhs.num).expect("rational addition overflow");
+            return Rational { num, den: 1 };
+        }
         // a/b + c/d = (a*(d/g) + c*(b/g)) / (b/g * d), g = gcd(b, d)
         let g = gcd(self.den, rhs.den);
         let lhs_scale = rhs.den / g;
@@ -230,6 +319,10 @@ impl AddAssign for Rational {
 impl Sub for Rational {
     type Output = Rational;
     fn sub(self, rhs: Rational) -> Rational {
+        if fast_paths() && self.den == 1 && rhs.den == 1 {
+            let num = self.num.checked_sub(rhs.num).expect("rational subtraction overflow");
+            return Rational { num, den: 1 };
+        }
         self + (-rhs)
     }
 }
@@ -250,6 +343,10 @@ impl Neg for Rational {
 impl Mul for Rational {
     type Output = Rational;
     fn mul(self, rhs: Rational) -> Rational {
+        // Integer products are canonical as-is: skip both cross-reductions.
+        if fast_paths() && self.den == 1 && rhs.den == 1 {
+            return Rational { num: Rational::checked_mul_i128(self.num, rhs.num), den: 1 };
+        }
         // Cross-reduce before multiplying to keep intermediates small.
         let g1 = gcd(self.num, rhs.den);
         let g2 = gcd(rhs.num, self.den);
@@ -407,6 +504,90 @@ mod tests {
         fn prop_midpoint_between(a in small_rational(), b in small_rational()) {
             let m = a.midpoint(&b);
             prop_assert!(m >= a.min(b) && m <= a.max(b));
+        }
+    }
+
+    /// The fast paths must agree bit-for-bit with the always-canonicalising
+    /// slow paths, and both must keep results in canonical form.
+    #[cfg(feature = "naive-reference")]
+    mod fast_slow_agreement {
+        use super::*;
+
+        /// `slow_mode` is process-global, so these tests serialise on one
+        /// lock: otherwise a concurrently running test's `SlowGuard` would
+        /// silently push the "fast" half of a comparison down the slow path
+        /// and make the agreement assertion vacuous.
+        static SLOW_MODE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+        fn is_canonical(r: &Rational) -> bool {
+            r.denominator() > 0 && gcd(r.numerator(), r.denominator()) == 1
+        }
+
+        /// Mix of integers (fast-path operands) and fractions: arithmetic on
+        /// these never overflows `i128`, so every operator can be exercised.
+        fn mixed_rational() -> impl Strategy<Value = Rational> {
+            (0u8..2, -10_000i128..10_000, 1i128..10_000).prop_map(|(kind, n, d)| match kind {
+                0 => Rational::new(n, 1),
+                _ => Rational::new(n, d),
+            })
+        }
+
+        /// Like [`mixed_rational`] but also producing values near the `i128`
+        /// limits, where the checked cross product overflows and comparison
+        /// must take the 256-bit fallback. Only safe for comparisons.
+        fn huge_rational() -> impl Strategy<Value = Rational> {
+            (0u8..3, -10_000i128..10_000, 1i128..10_000).prop_map(|(kind, n, d)| match kind {
+                0 => Rational::new(n, 1),
+                1 => Rational::new(n, d),
+                _ => Rational::new(n.saturating_mul(1 << 90) | 1, (d << 80) | 1),
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn prop_ops_agree_with_slow_path(a in mixed_rational(), b in mixed_rational()) {
+                let _lock = SLOW_MODE_LOCK.lock().unwrap();
+                assert!(!slow_mode::active(), "another guard leaked into the fast phase");
+                let fast = (a + b, a - b, a * b, a.midpoint(&b), a.cmp(&b));
+                let slow = {
+                    let _guard = slow_mode::SlowGuard::new();
+                    (a + b, a - b, a * b, a.midpoint(&b), a.cmp(&b))
+                };
+                prop_assert_eq!(fast.0, slow.0);
+                prop_assert_eq!(fast.1, slow.1);
+                prop_assert_eq!(fast.2, slow.2);
+                prop_assert_eq!(fast.3, slow.3);
+                prop_assert_eq!(fast.4, slow.4);
+                for r in [fast.0, fast.1, fast.2, fast.3] {
+                    prop_assert!(is_canonical(&r));
+                }
+            }
+
+            #[test]
+            fn prop_division_agrees_with_slow_path(a in mixed_rational(), b in mixed_rational()) {
+                let _lock = SLOW_MODE_LOCK.lock().unwrap();
+                assert!(!slow_mode::active(), "another guard leaked into the fast phase");
+                prop_assume!(!b.is_zero());
+                let fast = a / b;
+                let slow = {
+                    let _guard = slow_mode::SlowGuard::new();
+                    a / b
+                };
+                prop_assert_eq!(fast, slow);
+                prop_assert!(is_canonical(&fast));
+            }
+
+            #[test]
+            fn prop_cmp_agrees_with_slow_path(a in huge_rational(), b in huge_rational()) {
+                let _lock = SLOW_MODE_LOCK.lock().unwrap();
+                assert!(!slow_mode::active(), "another guard leaked into the fast phase");
+                let fast = a.cmp(&b);
+                let slow = {
+                    let _guard = slow_mode::SlowGuard::new();
+                    a.cmp(&b)
+                };
+                prop_assert_eq!(fast, slow);
+            }
         }
     }
 }

@@ -24,11 +24,40 @@ use topo_spatial::{SourceKind, SourceTag, SpatialInstance};
 
 /// Builds the unreduced cell complex of a spatial instance.
 pub fn build_complex(instance: &SpatialInstance) -> Complex {
-    let arrangement = build_arrangement(&instance.to_arrangement_input());
-    complex_from_arrangement(instance, &arrangement)
+    let input = instance.to_arrangement_input();
+    let arrangement = build_arrangement(&input);
+    classify_arrangement(instance, &input, &arrangement)
 }
 
-fn complex_from_arrangement(instance: &SpatialInstance, arrangement: &Arrangement) -> Complex {
+/// The classification half of [`build_complex`] on its own: annotates an
+/// already-built arrangement (lowered from `input`) into the unreduced cell
+/// complex. Exposed so the perf harness can time lowering and classification
+/// as separate stages; library callers should use [`build_complex`].
+pub fn classify_arrangement(
+    instance: &SpatialInstance,
+    input: &topo_arrangement::ArrangementInput,
+    arrangement: &Arrangement,
+) -> Complex {
+    complex_from_arrangement(instance, input, arrangement)
+}
+
+/// Like [`build_complex`], but lowering through the frozen pre-optimisation
+/// arrangement builder (and its seed-style rational arithmetic). Bench
+/// harness and equivalence tests only.
+#[cfg(feature = "naive-reference")]
+pub fn build_complex_naive(instance: &SpatialInstance) -> Complex {
+    let arrangement = topo_arrangement::build_arrangement_naive(&instance.to_arrangement_input());
+    // The seed lowered the instance to an arrangement input a second time for
+    // the isolated-point lookup; the reference path reproduces that cost.
+    let input = instance.to_arrangement_input();
+    complex_from_arrangement(instance, &input, &arrangement)
+}
+
+fn complex_from_arrangement(
+    instance: &SpatialInstance,
+    input: &topo_arrangement::ArrangementInput,
+    arrangement: &Arrangement,
+) -> Complex {
     let region_count = instance.schema().len();
     let mut complex = Complex::new(region_count);
 
@@ -132,7 +161,6 @@ fn complex_from_arrangement(instance: &SpatialInstance, arrangement: &Arrangemen
     // Isolated input points per vertex.
     let mut point_regions: Vec<RegionSet> =
         vec![RegionSet::new(region_count); arrangement.vertex_count()];
-    let input = instance.to_arrangement_input();
     for (idx, (_, tag)) in input.points.iter().enumerate() {
         let tag = SourceTag::decode(*tag);
         point_regions[arrangement.point_vertices[idx]].insert(tag.region);

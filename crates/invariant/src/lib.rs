@@ -68,3 +68,18 @@ pub fn top_unreduced(instance: &SpatialInstance) -> TopologicalInvariant {
     let complex = build_complex(instance);
     TopologicalInvariant::from_complex(&complex, instance.schema().clone())
 }
+
+/// Computes `top(I)` through the frozen pre-optimisation reference path: the
+/// seed arrangement builder under [`topo_geometry::slow_mode`] arithmetic.
+///
+/// Observationally identical to [`top`] — the equivalence tests assert it —
+/// but with the seed cost profile, so the perf harness can measure genuine
+/// end-to-end speedups inside one binary. Compiled only with the
+/// `naive-reference` feature; never use it outside benches and tests.
+#[cfg(feature = "naive-reference")]
+pub fn top_naive(instance: &SpatialInstance) -> TopologicalInvariant {
+    let _slow = topo_geometry::slow_mode::SlowGuard::new();
+    let mut complex = construct::build_complex_naive(instance);
+    complex.reduce();
+    TopologicalInvariant::from_complex(&complex, instance.schema().clone())
+}

@@ -1,0 +1,90 @@
+//! The optimised `top(I)` pipeline must be observationally identical to the
+//! frozen pre-optimisation reference path (`top_naive`): same vertex / edge /
+//! face counts and the same canonical code, on the seeded cartographic
+//! workloads and on randomly generated instances.
+//!
+//! `top_naive` runs the seed arrangement builder under slow-mode rational
+//! arithmetic (see `topo-arrangement`'s `naive` module); these tests are the
+//! guard-rail that keeps every fast path honest. The perf harness
+//! (`bench_runner`, `BENCH_2.json`) measures the speedup between the two
+//! paths that these tests prove equivalent.
+
+use proptest::prelude::*;
+use topo_core::{top, top_naive, Region, SpatialInstance};
+use topo_datagen::{
+    figure1, ign_city, nested_rings, scattered_islands, sequoia_hydro, sequoia_landcover, Scale,
+};
+use topo_geometry::Point;
+
+fn assert_pipelines_agree(instance: &SpatialInstance, label: &str) {
+    let fast = top(instance);
+    let slow = top_naive(instance);
+    assert_eq!(fast.vertex_count(), slow.vertex_count(), "vertex count diverged on {label}");
+    assert_eq!(fast.edge_count(), slow.edge_count(), "edge count diverged on {label}");
+    assert_eq!(fast.face_count(), slow.face_count(), "face count diverged on {label}");
+    assert_eq!(fast.canonical_code(), slow.canonical_code(), "canonical code diverged on {label}");
+}
+
+#[test]
+fn running_examples_agree() {
+    assert_pipelines_agree(&figure1(), "figure1");
+    assert_pipelines_agree(&nested_rings(3, 2), "nested_rings(3, 2)");
+    assert_pipelines_agree(&scattered_islands(5), "scattered_islands(5)");
+}
+
+#[test]
+fn seeded_cartographic_workloads_agree() {
+    for seed in [1u64, 7, 42] {
+        let scale = Scale::tiny();
+        assert_pipelines_agree(
+            &sequoia_landcover(scale, seed),
+            &format!("sequoia_landcover(tiny, {seed})"),
+        );
+        assert_pipelines_agree(
+            &sequoia_hydro(scale, seed),
+            &format!("sequoia_hydro(tiny, {seed})"),
+        );
+        assert_pipelines_agree(&ign_city(scale, seed), &format!("ign_city(tiny, {seed})"));
+    }
+}
+
+/// A small random instance of rectangles and isolated points (same shape as
+/// the structural property tests, including crossing and nested boundaries).
+fn small_instance() -> impl Strategy<Value = SpatialInstance> {
+    let rect = (0i64..6, 0i64..6, 1i64..4, 1i64..4)
+        .prop_map(|(x, y, w, h)| (x * 100, y * 100, x * 100 + w * 60, y * 100 + h * 60));
+    let rects = proptest::collection::vec(rect, 1..5);
+    let points = proptest::collection::vec((0i64..40, 0i64..40), 0..3);
+    (rects, points).prop_map(|(rects, points)| {
+        let mut a = Region::new();
+        let mut b = Region::new();
+        for (i, (x0, y0, x1, y1)) in rects.into_iter().enumerate() {
+            let (dx, dy) = (7 * i as i64, 11 * i as i64);
+            let (x0, y0, x1, y1) = (x0 + dx, y0 + dy, x1 + dx, y1 + dy);
+            let ring = vec![
+                Point::from_ints(x0, y0),
+                Point::from_ints(x1, y0),
+                Point::from_ints(x1, y1),
+                Point::from_ints(x0, y1),
+            ];
+            if i % 2 == 0 {
+                a.add_ring(ring);
+            } else {
+                b.add_ring(ring);
+            }
+        }
+        for (x, y) in points {
+            b.add_point(Point::from_ints(x * 17 + 3, y * 13 + 1));
+        }
+        SpatialInstance::from_regions([("A", a), ("B", b)])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn random_instances_agree(instance in small_instance()) {
+        assert_pipelines_agree(&instance, "random instance");
+    }
+}
