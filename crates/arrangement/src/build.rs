@@ -28,6 +28,10 @@ pub fn build_arrangement(input: &ArrangementInput) -> Arrangement {
     Builder::new(input).run()
 }
 
+/// An undirected arrangement edge before incidence wiring: its two endpoint
+/// vertices and the encoded source tags of the input segments covering it.
+type RawEdge = (VertexId, VertexId, Vec<u32>);
+
 struct Builder<'a> {
     input: &'a ArrangementInput,
     vertex_ids: HashMap<Point, VertexId>,
@@ -102,12 +106,9 @@ impl<'a> Builder<'a> {
 
     /// Phase 2: intern vertices, split segments, and merge coincident
     /// sub-segments into undirected arrangement edges.
-    fn build_edges(
-        &mut self,
-        splits: Vec<Vec<Point>>,
-    ) -> (Vec<(VertexId, VertexId, Vec<u32>)>, Vec<VertexId>) {
+    fn build_edges(&mut self, splits: Vec<Vec<Point>>) -> (Vec<RawEdge>, Vec<VertexId>) {
         let mut edge_ids: HashMap<(VertexId, VertexId), EdgeId> = HashMap::new();
-        let mut edges: Vec<(VertexId, VertexId, Vec<u32>)> = Vec::new();
+        let mut edges: Vec<RawEdge> = Vec::new();
         for ((segment, source), mut points) in self.input.segments.iter().zip(splits) {
             // Order split points along the segment (all are collinear with it,
             // so squared distance from `a` is monotone in the curve parameter).
@@ -226,7 +227,7 @@ impl<'a> Builder<'a> {
     #[allow(clippy::too_many_arguments)]
     fn assemble_faces(
         &mut self,
-        edges: Vec<(VertexId, VertexId, Vec<u32>)>,
+        edges: Vec<RawEdge>,
         rotations: Vec<Vec<EdgeId>>,
         point_vertices: Vec<VertexId>,
         _next: &[usize],
@@ -267,8 +268,8 @@ impl<'a> Builder<'a> {
         // Component representative -> component index; minimal vertex per component.
         let mut comp_index: HashMap<usize, usize> = HashMap::new();
         let mut comp_min_vertex: Vec<VertexId> = Vec::new();
-        for v in 0..n {
-            if rotations[v].is_empty() {
+        for (v, rot) in rotations.iter().enumerate().take(n) {
+            if rot.is_empty() {
                 continue;
             }
             let root = find(&mut parent, v);
@@ -400,8 +401,8 @@ impl<'a> Builder<'a> {
 
         // Isolated vertices.
         let mut isolated: Vec<(VertexId, FaceId)> = Vec::new();
-        for v in 0..n {
-            if !rotations[v].is_empty() {
+        for (v, rot) in rotations.iter().enumerate().take(n) {
+            if !rot.is_empty() {
                 continue;
             }
             let probe = self.vertices[v];

@@ -1,17 +1,21 @@
 //! Machine-readable perf baseline runner.
 //!
 //! Measures the `geometry → arrangement → invariant` construction path stage
-//! by stage on the seeded cartographic workloads, at three datagen scales,
-//! against the frozen pre-optimisation reference path
-//! (`topo_core::top_naive`), and writes the medians to a JSON file so every
-//! perf PR has a recorded trajectory to beat. `BENCH_2.json` at the
-//! repository root is the committed baseline; see DESIGN.md, "Performance".
+//! by stage *and* the canonicalisation stage (`canonical_code`, cached
+//! re-reads, cached isomorphism checks) on the seeded cartographic workloads,
+//! at three datagen scales, against the frozen pre-optimisation reference
+//! paths (`topo_core::top_naive`, `topo_core::canonical_code_naive`), and
+//! writes the medians to a JSON file so every perf PR has a recorded
+//! trajectory to beat. `BENCH_3.json` at the repository root is the committed
+//! baseline (`BENCH_2.json` is the PR 2 construction-only record); see
+//! DESIGN.md, "Performance" and "Canonicalisation".
 //!
 //! ```text
 //! bench_runner [--quick] [--out PATH]
 //! ```
 //!
-//! `--quick` drops the sample count (for CI smoke coverage); the default
+//! `--quick` drops the sample count and skips the reference canonicalisation
+//! on the scales where it is intractable (for CI smoke coverage); the default
 //! sample count matches the committed baseline. Requires the
 //! `naive-reference` feature:
 //!
@@ -28,6 +32,11 @@ const FULL_SAMPLES: usize = 15;
 const QUICK_SAMPLES: usize = 5;
 const GRIDS: [usize; 3] = [8, 16, 28];
 const SEED: u64 = 7;
+/// The reference canonicalisation is super-quadratic; above this cell count a
+/// single sample would take tens of minutes, so it is recorded as `null`.
+const NAIVE_CANONICAL_CELL_LIMIT: usize = 3000;
+/// Inner repetitions when timing the (sub-microsecond) cached paths.
+const CACHED_REPS: u32 = 1024;
 
 /// Median of the timed samples of one closure, in nanoseconds.
 fn median_ns<T>(samples: usize, mut f: impl FnMut() -> T) -> u128 {
@@ -60,6 +69,19 @@ struct ScaleReport {
     stages: Vec<(&'static str, u128)>,
     naive_arrangement_ns: u128,
     naive_top_ns: u128,
+    /// First `canonical_code()` call on a fresh invariant (cache cold).
+    canonical_first_ns: u128,
+    /// Re-reading the code from the cache (per call; fractional because a
+    /// cache hit costs under a nanosecond).
+    canonical_cached_ns: f64,
+    /// `is_isomorphic_to` between two warmed invariants (per call).
+    iso_cached_ns: f64,
+    /// The frozen reference canonicalisation, when tractable at this scale.
+    naive_canonical_ns: Option<u128>,
+    /// Samples actually used for the cold canonical median (≤ `samples`).
+    canonical_samples: usize,
+    /// Samples actually used for the reference canonical median.
+    naive_canonical_samples: Option<usize>,
 }
 
 impl ScaleReport {
@@ -74,9 +96,83 @@ impl ScaleReport {
     fn arrangement_speedup(&self) -> f64 {
         self.naive_arrangement_ns as f64 / self.stage("arrangement") as f64
     }
+
+    fn canonical_speedup(&self) -> Option<f64> {
+        self.naive_canonical_ns.map(|n| n as f64 / self.canonical_first_ns as f64)
+    }
 }
 
-fn measure_scale(instance: &SpatialInstance, grid: usize, samples: usize) -> ScaleReport {
+/// Per-scale canonicalisation measurements (cold, cached, warmed isomorphism,
+/// reference path) plus the sample counts actually used.
+struct CanonicalReport {
+    first_ns: u128,
+    cached_ns: f64,
+    iso_ns: f64,
+    naive_ns: Option<u128>,
+    samples: usize,
+    naive_samples: Option<usize>,
+}
+
+/// Measures the canonicalisation stage on already-built invariants.
+fn measure_canonical(
+    instance: &SpatialInstance,
+    cells: usize,
+    samples: usize,
+    quick: bool,
+) -> CanonicalReport {
+    // Cold canonicalisation: a fresh invariant per sample (construction is
+    // untimed setup; the canonicalisation itself dominates anyway).
+    let canonical_samples = samples.min(5);
+    let canonical_first_ns = median_ns_with(
+        canonical_samples,
+        || topo_core::top(instance),
+        |invariant| {
+            invariant.canonical_code();
+            invariant
+        },
+    );
+    // Cached paths: warm two invariants once, then time per-call medians over
+    // batches (a single call is tens of nanoseconds).
+    let warm_a = topo_core::top(instance);
+    let warm_b = topo_core::top(instance);
+    warm_a.canonical_code();
+    warm_b.canonical_code();
+    let canonical_cached_ns = median_ns(samples, || {
+        for _ in 0..CACHED_REPS {
+            std::hint::black_box(std::hint::black_box(&warm_a).canonical_code());
+        }
+    }) as f64
+        / CACHED_REPS as f64;
+    let iso_cached_ns = median_ns(samples, || {
+        for _ in 0..CACHED_REPS {
+            std::hint::black_box(std::hint::black_box(&warm_a).is_isomorphic_to(&warm_b));
+        }
+    }) as f64
+        / CACHED_REPS as f64;
+    // The frozen reference path: super-quadratic, so sample sparsely and skip
+    // entirely where a single run would take tens of minutes (or in quick/CI
+    // mode, anything beyond the small scales).
+    let cell_limit = if quick { 1100 } else { NAIVE_CANONICAL_CELL_LIMIT };
+    let naive_samples =
+        (cells <= cell_limit).then(|| if cells <= 500 { samples.min(3) } else { 1 });
+    let naive_canonical_ns =
+        naive_samples.map(|n| median_ns(n, || topo_core::canonical_code_naive(&warm_a)));
+    CanonicalReport {
+        first_ns: canonical_first_ns,
+        cached_ns: canonical_cached_ns,
+        iso_ns: iso_cached_ns,
+        naive_ns: naive_canonical_ns,
+        samples: canonical_samples,
+        naive_samples,
+    }
+}
+
+fn measure_scale(
+    instance: &SpatialInstance,
+    grid: usize,
+    samples: usize,
+    quick: bool,
+) -> ScaleReport {
     // Every stage is timed in isolation (its inputs are prepared untimed),
     // so the recorded medians are genuinely per-stage; `top` is the
     // end-to-end total.
@@ -110,6 +206,7 @@ fn measure_scale(instance: &SpatialInstance, grid: usize, samples: usize) -> Sca
     // end-to-end run just to read the cell count.
     let cells =
         TopologicalInvariant::from_complex(&complex, instance.schema().clone()).cell_count();
+    let canonical = measure_canonical(instance, cells, samples, quick);
     ScaleReport {
         grid,
         cells,
@@ -122,6 +219,12 @@ fn measure_scale(instance: &SpatialInstance, grid: usize, samples: usize) -> Sca
         ],
         naive_arrangement_ns,
         naive_top_ns,
+        canonical_first_ns: canonical.first_ns,
+        canonical_cached_ns: canonical.cached_ns,
+        iso_cached_ns: canonical.iso_ns,
+        naive_canonical_ns: canonical.naive_ns,
+        canonical_samples: canonical.samples,
+        naive_canonical_samples: canonical.naive_samples,
     }
 }
 
@@ -133,7 +236,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     // Quick mode never overwrites the committed 15-sample baseline unless
-    // the caller passes `--out BENCH_2.json` explicitly.
+    // the caller passes `--out BENCH_3.json` explicitly.
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -143,7 +246,7 @@ fn main() {
             if quick {
                 "BENCH_quick.json".to_string()
             } else {
-                "BENCH_2.json".to_string()
+                "BENCH_3.json".to_string()
             }
         });
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -152,7 +255,8 @@ fn main() {
     }
     let samples = if quick { QUICK_SAMPLES } else { FULL_SAMPLES };
 
-    let workloads: Vec<(&str, Box<dyn Fn(usize) -> SpatialInstance>)> = vec![
+    type Workload = Box<dyn Fn(usize) -> SpatialInstance>;
+    let workloads: Vec<(&str, Workload)> = vec![
         ("sequoia_landcover", Box::new(|grid| sequoia_landcover(Scale { grid }, SEED))),
         ("sequoia_hydro", Box::new(|grid| sequoia_hydro(Scale { grid }, SEED))),
         ("ign_city", Box::new(|grid| ign_city(Scale { grid }, SEED))),
@@ -160,11 +264,13 @@ fn main() {
 
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"id\": \"BENCH_2\",\n");
+    out.push_str("  \"id\": \"BENCH_3\",\n");
     out.push_str(
-        "  \"description\": \"top(I) construction: per-stage medians and speedup vs the \
-         frozen pre-optimisation reference path (naive seed arrangement + slow-mode \
-         rational arithmetic)\",\n",
+        "  \"description\": \"top(I) construction and canonicalisation: per-stage medians \
+         and speedups vs the frozen reference paths (naive seed arrangement + slow-mode \
+         rational arithmetic; PR 2 String canonical codes). canonical.first is a cold \
+         canonical_code() on a fresh invariant; cached/iso are per-call costs on warmed \
+         invariants; naive_canonical is null where the reference path is intractable\",\n",
     );
     out.push_str(&format!("  \"mode\": \"{}\",\n", if quick { "quick" } else { "full" }));
     out.push_str(&format!("  \"samples\": {samples},\n"));
@@ -178,7 +284,7 @@ fn main() {
         out.push_str("      \"scales\": [\n");
         for (g, &grid) in GRIDS.iter().enumerate() {
             let instance = gen(grid);
-            let report = measure_scale(&instance, grid, samples);
+            let report = measure_scale(&instance, grid, samples, quick);
             eprintln!(
                 "  grid {:>2}: cells {:>6}  top {:>12} ns  naive_top {:>12} ns  speedup {:>5.2}x \
                  (arrangement {:>5.2}x)",
@@ -188,6 +294,15 @@ fn main() {
                 report.naive_top_ns,
                 report.top_speedup(),
                 report.arrangement_speedup(),
+            );
+            eprintln!(
+                "           canonical {:>12} ns  cached {:>8.2} ns  iso {:>8.2} ns  naive {}  \
+                 speedup {}",
+                report.canonical_first_ns,
+                report.canonical_cached_ns,
+                report.iso_cached_ns,
+                report.naive_canonical_ns.map_or("(skipped)".to_string(), |n| format!("{n} ns")),
+                report.canonical_speedup().map_or("n/a".to_string(), |s| format!("{s:.0}x")),
             );
             out.push_str("        {\n");
             out.push_str(&format!("          \"grid\": {},\n", report.grid));
@@ -201,13 +316,28 @@ fn main() {
             }
             out.push_str("},\n");
             out.push_str(&format!(
-                "          \"naive_median_ns\": {{\"arrangement\": {}, \"top\": {}}},\n",
-                report.naive_arrangement_ns, report.naive_top_ns
+                "          \"canonical_median_ns\": {{\"first\": {}, \"cached\": {:.3}, \
+                 \"iso_cached\": {:.3}}},\n",
+                report.canonical_first_ns, report.canonical_cached_ns, report.iso_cached_ns
             ));
             out.push_str(&format!(
-                "          \"speedup\": {{\"arrangement\": {:.2}, \"top\": {:.2}}}\n",
+                "          \"canonical_samples\": {{\"first\": {}, \"naive\": {}}},\n",
+                report.canonical_samples,
+                report.naive_canonical_samples.map_or("null".to_string(), |n| n.to_string()),
+            ));
+            out.push_str(&format!(
+                "          \"naive_median_ns\": {{\"arrangement\": {}, \"top\": {}, \
+                 \"canonical\": {}}},\n",
+                report.naive_arrangement_ns,
+                report.naive_top_ns,
+                report.naive_canonical_ns.map_or("null".to_string(), |n| n.to_string()),
+            ));
+            out.push_str(&format!(
+                "          \"speedup\": {{\"arrangement\": {:.2}, \"top\": {:.2}, \
+                 \"canonical\": {}}}\n",
                 report.arrangement_speedup(),
-                report.top_speedup()
+                report.top_speedup(),
+                report.canonical_speedup().map_or("null".to_string(), |s| format!("{s:.2}")),
             ));
             out.push_str(if g + 1 < GRIDS.len() { "        },\n" } else { "        }\n" });
         }

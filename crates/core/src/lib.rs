@@ -49,13 +49,14 @@ pub use topo_translate as translate;
 
 pub use topo_geometry::{Point, Rational};
 #[cfg(feature = "naive-reference")]
-pub use topo_invariant::top_naive;
+pub use topo_invariant::{canonical_code_naive, top_naive};
 pub use topo_invariant::{
-    invert, invert_verified, top, top_unreduced, InvariantStats, TopologicalInvariant,
+    invert, invert_verified, top, top_unreduced, CanonicalCode, CanonicalForm, CodeHash,
+    InvariantStats, TopologicalInvariant,
 };
 pub use topo_queries::{
-    component_count, datalog_program, euler_characteristic, evaluate_direct, evaluate_on_invariant,
-    point_formula, TopologicalQuery,
+    component_count, datalog_program, euler_characteristic, evaluate_direct, evaluate_on_classes,
+    evaluate_on_invariant, isomorphism_classes, point_formula, TopologicalQuery,
 };
 pub use topo_relational::{Formula, Program, Semantics, Structure};
 pub use topo_spatial::{PointFormula, RealFormula, Region, RegionId, Schema, SpatialInstance};

@@ -331,17 +331,13 @@ impl Complex {
                     continue;
                 }
                 match self.degree(v) {
-                    0 => {
-                        if self.isolated_vertex_removable(v) {
-                            self.vertex_alive[v] = false;
-                            changed = true;
-                        }
+                    0 if self.isolated_vertex_removable(v) => {
+                        self.vertex_alive[v] = false;
+                        changed = true;
                     }
-                    2 => {
-                        if self.vertex_smoothable(v) {
-                            self.smooth_vertex(v);
-                            changed = true;
-                        }
+                    2 if self.vertex_smoothable(v) => {
+                        self.smooth_vertex(v);
+                        changed = true;
                     }
                     _ => {}
                 }
@@ -396,10 +392,7 @@ impl Complex {
     /// neighbouring sectors. If the vertex becomes isolated it records its
     /// containing face.
     fn detach_edge_from_vertex(&mut self, v: CellId, e: CellId) {
-        loop {
-            let Some(pos) = self.vertex_slots[v].iter().position(|(edge, _)| *edge == e) else {
-                break;
-            };
+        while let Some(pos) = self.vertex_slots[v].iter().position(|(edge, _)| *edge == e) {
             self.vertex_slots[v].remove(pos);
             self.vertex_sectors[v].remove(pos);
         }

@@ -169,8 +169,8 @@ fn complex_from_arrangement(
     // Vertex membership.
     let mut vertex_in: Vec<RegionSet> = Vec::with_capacity(arrangement.vertex_count());
     let mut vertex_bnd: Vec<RegionSet> = Vec::with_capacity(arrangement.vertex_count());
-    for v in 0..arrangement.vertex_count() {
-        let mut in_set = point_regions[v].clone();
+    for (v, point_set) in point_regions.iter().enumerate() {
+        let mut in_set = point_set.clone();
         let incident = arrangement.incident_edges(v);
         let isolated_face = arrangement.isolated_face(v);
         // Sector faces around the vertex (or the containing face when isolated).

@@ -1,7 +1,8 @@
 //! The frozen topological invariant and its derived structure.
 
-use crate::canonical;
+use crate::canonical::{self, CanonicalCode, CanonicalForm, CellRef, CodeHash};
 use crate::complex::{Complex, RegionSet};
+use std::sync::OnceLock;
 use topo_relational::Structure;
 use topo_spatial::{RegionId, Schema};
 
@@ -83,6 +84,10 @@ pub struct TopologicalInvariant {
     component_of_vertex: Vec<ComponentId>,
     component_of_edge: Vec<ComponentId>,
     face_owner: Vec<Option<ComponentId>>,
+    // The canonical form and its hash, computed once on first use. The
+    // invariant is immutable after construction, so the cache can never go
+    // stale; cloning an invariant carries the cache along.
+    canonical: OnceLock<(CanonicalForm, CodeHash)>,
 }
 
 impl TopologicalInvariant {
@@ -151,6 +156,7 @@ impl TopologicalInvariant {
             component_of_vertex: Vec::new(),
             component_of_edge: Vec::new(),
             face_owner: Vec::new(),
+            canonical: OnceLock::new(),
         };
         invariant.compute_components();
         invariant.compute_component_tree();
@@ -332,23 +338,23 @@ impl TopologicalInvariant {
         let mut components: Vec<Component> = Vec::new();
         let mut component_of_vertex = vec![0; nv];
         let mut component_of_edge = vec![0; ne];
-        for v in 0..nv {
+        for (v, comp) in component_of_vertex.iter_mut().enumerate() {
             let root = find(&mut parent, v);
             let id = *component_ids.entry(root).or_insert_with(|| {
                 components.push(Component::default());
                 components.len() - 1
             });
             components[id].vertices.push(v);
-            component_of_vertex[v] = id;
+            *comp = id;
         }
-        for e in 0..ne {
+        for (e, comp) in component_of_edge.iter_mut().enumerate() {
             let root = find(&mut parent, nv + e);
             let id = *component_ids.entry(root).or_insert_with(|| {
                 components.push(Component::default());
                 components.len() - 1
             });
             components[id].edges.push(e);
-            component_of_edge[e] = id;
+            *comp = id;
         }
         self.components = components;
         self.component_of_vertex = component_of_vertex;
@@ -541,17 +547,62 @@ impl TopologicalInvariant {
 
     // ----- canonical form and relational export ------------------------------
 
+    /// The canonical form of the invariant (code + realising cell order),
+    /// computed once and cached; every later call is a cache hit.
+    pub fn canonical_form(&self) -> &CanonicalForm {
+        &self.canonical_entry().0
+    }
+
     /// The canonical code of the invariant: equal codes iff the invariants are
     /// isomorphic (Theorems 3.2 / 3.4 made algorithmic; see the `canonical`
-    /// module).
-    pub fn canonical_code(&self) -> canonical::CanonicalCode {
-        canonical::canonical_code(self)
+    /// module). Computed once and cached on the invariant; every later call
+    /// returns the cached code without recomputation.
+    pub fn canonical_code(&self) -> &CanonicalCode {
+        &self.canonical_entry().0.code
+    }
+
+    /// A 64-bit digest of the canonical code, for hash-map keying (cached
+    /// alongside the code).
+    pub fn code_hash(&self) -> CodeHash {
+        self.canonical_entry().1
+    }
+
+    /// The canonical total order on the invariant's cells: the order realising
+    /// the canonical code (Theorem 3.4's canonical ordering). Isomorphic
+    /// invariants produce orders related by the isomorphism.
+    pub fn canonical_cell_order(&self) -> &[CellRef] {
+        &self.canonical_entry().0.order
+    }
+
+    fn canonical_entry(&self) -> &(CanonicalForm, CodeHash) {
+        self.canonical.get_or_init(|| {
+            let form = canonical::canonical_form(self);
+            let hash = form.code.code_hash();
+            (form, hash)
+        })
     }
 
     /// True iff two invariants are isomorphic, i.e. the underlying spatial
-    /// instances are topologically equivalent (Theorem 2.1(ii)).
+    /// instances are topologically equivalent (Theorem 2.1(ii)). Decided by
+    /// comparing cached canonical codes (hash first), so repeated checks on
+    /// the same invariants never recompute anything.
     pub fn is_isomorphic_to(&self, other: &TopologicalInvariant) -> bool {
-        self.canonical_code() == other.canonical_code()
+        self.code_hash() == other.code_hash() && self.canonical_code() == other.canonical_code()
+    }
+
+    /// The domain element representing a cell in the relational exports
+    /// ([`to_structure`](Self::to_structure) and friends): elements 0 and 1
+    /// are the orientation constants, then vertices, edges and faces in
+    /// index order. Consumers that add relations over exported structures
+    /// (e.g. `topo-translate`'s ordered copies) must use this mapping rather
+    /// than re-deriving the layout.
+    pub fn cell_element(&self, kind: CellKind, id: usize) -> u32 {
+        let (nv, ne) = (self.vertex_count(), self.edge_count());
+        match kind {
+            CellKind::Vertex => (2 + id) as u32,
+            CellKind::Edge => (2 + nv + id) as u32,
+            CellKind::Face => (2 + nv + ne + id) as u32,
+        }
     }
 
     /// Exports the invariant as a relational structure over the schema
@@ -577,9 +628,9 @@ impl TopologicalInvariant {
         let nv = self.vertex_count();
         let ne = self.edge_count();
         let nf = self.face_count();
-        let vert = |v: usize| -> u32 { (2 + v) as u32 };
-        let edge = |e: usize| -> u32 { (2 + nv + e) as u32 };
-        let face = |f: usize| -> u32 { (2 + nv + ne + f) as u32 };
+        let vert = |v: usize| -> u32 { self.cell_element(CellKind::Vertex, v) };
+        let edge = |e: usize| -> u32 { self.cell_element(CellKind::Edge, e) };
+        let face = |f: usize| -> u32 { self.cell_element(CellKind::Face, f) };
         let mut s = Structure::new(2 + nv + ne + nf);
         s.add_relation("OrientationConstant", 1);
         s.insert("OrientationConstant", &[0]);

@@ -124,11 +124,14 @@ pub fn invert(invariant: &TopologicalInvariant) -> Result<SpatialInstance, Inver
 }
 
 /// [`invert`] followed by a verification that the rebuilt instance's invariant
-/// is isomorphic to the input (canonical codes are compared).
+/// is isomorphic to the input. Both codes go through the cached canonical-code
+/// accessor (hash compared first), so verifying against an invariant whose
+/// code is already known costs one canonicalisation of the rebuilt instance,
+/// not two recomputations.
 pub fn invert_verified(invariant: &TopologicalInvariant) -> Result<SpatialInstance, InvertError> {
     let instance = invert(invariant)?;
     let rebuilt = crate::top(&instance);
-    if rebuilt.canonical_code() == invariant.canonical_code() {
+    if rebuilt.is_isomorphic_to(invariant) {
         Ok(instance)
     } else {
         Err(InvertError::VerificationFailed)

@@ -37,7 +37,11 @@ pub mod invariant;
 pub mod invert;
 pub mod stats;
 
-pub use canonical::{canonical_code, component_orderings, CanonicalCode};
+#[cfg(any(feature = "naive-reference", test))]
+pub use canonical::naive::canonical_code_naive;
+pub use canonical::{
+    canonical_code, canonical_form, component_orderings, CanonicalCode, CanonicalForm, CodeHash,
+};
 pub use complex::{CellId, Complex, RegionSet};
 pub use construct::build_complex;
 pub use invariant::{

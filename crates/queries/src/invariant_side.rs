@@ -7,7 +7,8 @@
 //! [`crate::programs`] simulate).
 
 use crate::library::TopologicalQuery;
-use topo_invariant::{CellKind, TopologicalInvariant};
+use std::collections::HashMap;
+use topo_invariant::{CellKind, CodeHash, TopologicalInvariant};
 use topo_spatial::RegionId;
 
 /// A cell reference used by the connectivity computations.
@@ -199,6 +200,54 @@ fn cells_in_both(
     cells_in_region(invariant, a).filter(move |&(kind, id)| invariant.cell_in_region(kind, id, b))
 }
 
+/// Partitions invariants into isomorphism classes via their cached canonical
+/// codes: candidate classes are found by [`CodeHash`] and confirmed by exact
+/// code comparison, so classifying `n` invariants costs `n` canonicalisations
+/// (each cached on its invariant) plus hash-map lookups — no pairwise
+/// backtracking search.
+///
+/// Returns the classes as index lists into `invariants`, in order of first
+/// appearance. Every query answer is a topological property (Theorem 2.1), so
+/// members of one class answer every [`TopologicalQuery`] identically; this
+/// is the primitive that makes consistency-style query answering over many
+/// candidate instances tractable.
+pub fn isomorphism_classes(invariants: &[&TopologicalInvariant]) -> Vec<Vec<usize>> {
+    let mut classes: Vec<Vec<usize>> = Vec::new();
+    let mut by_hash: HashMap<CodeHash, Vec<usize>> = HashMap::new();
+    for (i, invariant) in invariants.iter().enumerate() {
+        let candidates = by_hash.entry(invariant.code_hash()).or_default();
+        let class = candidates
+            .iter()
+            .copied()
+            .find(|&c| invariants[classes[c][0]].canonical_code() == invariant.canonical_code());
+        match class {
+            Some(c) => classes[c].push(i),
+            None => {
+                candidates.push(classes.len());
+                classes.push(vec![i]);
+            }
+        }
+    }
+    classes
+}
+
+/// Evaluates a query on many invariants, once per isomorphism class: the
+/// cached canonical codes group the invariants, the query runs on one
+/// representative per class, and the answer is shared across the class.
+pub fn evaluate_on_classes(
+    query: &TopologicalQuery,
+    invariants: &[&TopologicalInvariant],
+) -> Vec<bool> {
+    let mut answers = vec![false; invariants.len()];
+    for class in isomorphism_classes(invariants) {
+        let answer = evaluate_on_invariant(query, invariants[class[0]]);
+        for i in class {
+            answers[i] = answer;
+        }
+    }
+    answers
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,6 +317,61 @@ mod tests {
             SpatialInstance::from_regions([("A", Region::rectangle(0, 0, 100, 100))]);
         assert!(evaluate_on_invariant(&TopologicalQuery::HasHole(0), &top(&with_hole)));
         assert!(!evaluate_on_invariant(&TopologicalQuery::HasHole(0), &top(&without_hole)));
+    }
+
+    #[test]
+    fn isomorphism_classes_group_by_cached_codes() {
+        use topo_spatial::transform::AffineMap;
+        // Three topologies: a disk (twice, one transformed), an annulus
+        // (twice), and two disjoint squares (once).
+        let disk = SpatialInstance::from_regions([("A", Region::rectangle(0, 0, 100, 100))]);
+        let disk2 = AffineMap::translation(1000, -300).apply_instance(&disk);
+        let mut annulus_region = Region::rectangle(0, 0, 100, 100);
+        annulus_region.add_ring(vec![
+            topo_geometry::Point::from_ints(30, 30),
+            topo_geometry::Point::from_ints(70, 30),
+            topo_geometry::Point::from_ints(70, 70),
+            topo_geometry::Point::from_ints(30, 70),
+        ]);
+        let annulus = SpatialInstance::from_regions([("A", annulus_region)]);
+        let annulus2 = AffineMap::rotation90().apply_instance(&annulus);
+        let mut two_region = Region::rectangle(0, 0, 10, 10);
+        two_region.add_ring(vec![
+            topo_geometry::Point::from_ints(20, 0),
+            topo_geometry::Point::from_ints(30, 0),
+            topo_geometry::Point::from_ints(30, 10),
+            topo_geometry::Point::from_ints(20, 10),
+        ]);
+        let two = SpatialInstance::from_regions([("A", two_region)]);
+        let invariants: Vec<_> = [&disk, &annulus, &disk2, &two, &annulus2].map(top).to_vec();
+        let refs: Vec<&TopologicalInvariant> = invariants.iter().collect();
+        let classes = isomorphism_classes(&refs);
+        assert_eq!(classes, vec![vec![0, 2], vec![1, 4], vec![3]]);
+        // The class partition agrees with the generic relational isomorphism
+        // (run through the code-keyed fast path and the backtracking search).
+        for i in 0..refs.len() {
+            for j in 0..refs.len() {
+                let same_class = classes.iter().any(|c| c.contains(&i) && c.contains(&j));
+                let (si, sj) = (refs[i].to_structure(), refs[j].to_structure());
+                assert_eq!(
+                    same_class,
+                    topo_relational::isomorphic_with_keys(
+                        &si,
+                        &sj,
+                        Some(refs[i].canonical_code()),
+                        Some(refs[j].canonical_code()),
+                    )
+                );
+                assert_eq!(same_class, topo_relational::isomorphic(&si, &sj));
+            }
+        }
+        // Per-class evaluation matches per-invariant evaluation.
+        let query = TopologicalQuery::HasHole(0);
+        let per_class = evaluate_on_classes(&query, &refs);
+        let per_invariant: Vec<bool> =
+            refs.iter().map(|inv| evaluate_on_invariant(&query, inv)).collect();
+        assert_eq!(per_class, per_invariant);
+        assert_eq!(per_class, vec![false, true, false, false, true]);
     }
 
     #[test]

@@ -19,7 +19,10 @@ pub mod library;
 pub mod programs;
 pub mod spatial_side;
 
-pub use invariant_side::{component_count, euler_characteristic, evaluate_on_invariant};
+pub use invariant_side::{
+    component_count, euler_characteristic, evaluate_on_classes, evaluate_on_invariant,
+    isomorphism_classes,
+};
 pub use library::TopologicalQuery;
 pub use programs::datalog_program;
 pub use spatial_side::{evaluate_direct, point_formula};

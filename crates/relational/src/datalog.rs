@@ -133,9 +133,10 @@ impl Program {
         self.rules.is_empty()
     }
 
-    /// Names of the derived (intensional) relations.
-    pub fn derived_relations(&self) -> HashSet<String> {
-        self.rules.iter().map(|r| r.head_relation.clone()).collect()
+    /// Names of the derived (intensional) relations (borrowed from the rules;
+    /// no per-call cloning of the head names).
+    pub fn derived_relations(&self) -> HashSet<&str> {
+        self.rules.iter().map(|r| r.head_relation.as_str()).collect()
     }
 
     /// Runs the program on `input` and returns the resulting structure
@@ -148,19 +149,24 @@ impl Program {
         max_steps: usize,
     ) -> Option<Structure> {
         let derived = self.derived_relations();
-        let mut state = input.clone();
-        for name in &derived {
-            state.remove_relation(name);
+        // The base state: input relations with the derived relations emptied.
+        // Built once; partial-fixpoint rounds restart from a clone of it
+        // instead of re-deriving it from `input` every round.
+        let mut base = input.clone();
+        for &name in &derived {
+            base.remove_relation(name);
             if let Some(arity) = self.head_arity(name) {
-                state.add_relation(name, arity);
+                base.add_relation(name, arity);
             }
         }
         match semantics {
             Semantics::Inflationary => {
+                let mut state = base;
                 self.run_inflationary(&mut state, &self.rules.iter().collect::<Vec<_>>());
                 Some(state)
             }
             Semantics::Stratified => {
+                let mut state = base;
                 for stratum in self.stratify() {
                     self.run_inflationary(&mut state, &stratum);
                 }
@@ -168,21 +174,15 @@ impl Program {
             }
             Semantics::Partial => {
                 let mut seen: HashSet<String> = HashSet::new();
+                let mut state = base.clone();
                 for _ in 0..max_steps {
-                    let snapshot = state.clone();
-                    let mut next = input.clone();
-                    for name in &derived {
-                        next.remove_relation(name);
-                        if let Some(arity) = self.head_arity(name) {
-                            next.add_relation(name, arity);
-                        }
-                    }
+                    let mut next = base.clone();
                     for rule in &self.rules {
-                        for tuple in self.rule_heads(rule, &snapshot) {
+                        for tuple in self.rule_heads(rule, &state) {
                             next.insert(&rule.head_relation, &tuple);
                         }
                     }
-                    if next == snapshot {
+                    if next == state {
                         return Some(next);
                     }
                     if !seen.insert(next.fingerprint()) {
@@ -215,14 +215,24 @@ impl Program {
     }
 
     /// Applies the given rules inflationarily until nothing new is derived.
+    ///
+    /// Simultaneous firing against the pre-round state needs no snapshot
+    /// clone: all head tuples of the round are derived from the unmodified
+    /// state first, then inserted.
     fn run_inflationary(&self, state: &mut Structure, rules: &[&Rule]) {
+        let mut round: Vec<(&str, Vec<Vec<u32>>)> = Vec::with_capacity(rules.len());
         loop {
-            let snapshot = state.clone();
+            round.clear();
+            round.extend(
+                rules
+                    .iter()
+                    .map(|rule| (rule.head_relation.as_str(), self.rule_heads(rule, state))),
+            );
             let mut changed = false;
-            for rule in rules {
-                for tuple in self.rule_heads(rule, &snapshot) {
-                    if !state.contains(&rule.head_relation, &tuple) {
-                        state.insert(&rule.head_relation, &tuple);
+            for (head, tuples) in &round {
+                for tuple in tuples {
+                    if !state.contains(head, tuple) {
+                        state.insert(head, tuple);
                         changed = true;
                     }
                 }
@@ -243,24 +253,24 @@ impl Program {
     fn stratify(&self) -> Vec<Vec<&Rule>> {
         let derived = self.derived_relations();
         // Stratum number per derived relation, computed by iterating the
-        // standard constraints to a fixpoint.
-        let mut stratum: HashMap<String, usize> =
-            derived.iter().map(|name| (name.clone(), 0usize)).collect();
+        // standard constraints to a fixpoint (keys borrowed from the rules).
+        let mut stratum: HashMap<&str, usize> =
+            derived.iter().map(|&name| (name, 0usize)).collect();
         let max_stratum = derived.len() + 1;
         loop {
             let mut changed = false;
             for rule in &self.rules {
-                let head_level = stratum[&rule.head_relation];
+                let head_level = stratum[rule.head_relation.as_str()];
                 let mut required = head_level;
                 for literal in &rule.body {
                     match literal {
                         Literal::Pos { relation, .. } => {
-                            if let Some(&level) = stratum.get(relation) {
+                            if let Some(&level) = stratum.get(relation.as_str()) {
                                 required = required.max(level);
                             }
                         }
                         Literal::Neg { relation, .. } | Literal::Count { relation, .. } => {
-                            if let Some(&level) = stratum.get(relation) {
+                            if let Some(&level) = stratum.get(relation.as_str()) {
                                 required = required.max(level + 1);
                             }
                         }
@@ -273,7 +283,7 @@ impl Program {
                         "program is not stratifiable (negation through recursion on {})",
                         rule.head_relation
                     );
-                    stratum.insert(rule.head_relation.clone(), required);
+                    stratum.insert(rule.head_relation.as_str(), required);
                     changed = true;
                 }
             }
@@ -284,7 +294,7 @@ impl Program {
         let levels = stratum.values().copied().max().unwrap_or(0);
         let mut out: Vec<Vec<&Rule>> = vec![Vec::new(); levels + 1];
         for rule in &self.rules {
-            out[stratum[&rule.head_relation]].push(rule);
+            out[stratum[rule.head_relation.as_str()]].push(rule);
         }
         out
     }

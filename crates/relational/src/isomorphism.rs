@@ -47,6 +47,19 @@ pub fn find_isomorphism(a: &Structure, b: &Structure) -> Option<Vec<u32>> {
     if hist_a != hist_b {
         return None;
     }
+    // Fast path: a discrete colouring admits exactly one colour-respecting
+    // bijection, and any isomorphism must respect the refined colours — so
+    // verify that single candidate instead of backtracking.
+    if hist_a.values().all(|&size| size == 1) {
+        let by_color: HashMap<u64, u32> =
+            colors_b.iter().enumerate().map(|(y, &c)| (c, y as u32)).collect();
+        let mapping: Vec<Option<u32>> = colors_a.iter().map(|c| Some(by_color[c])).collect();
+        return if full_check(a, b, &mapping) {
+            Some(mapping.into_iter().map(|m| m.unwrap()).collect())
+        } else {
+            None
+        };
+    }
     // Backtracking: map elements of `a` in order of ascending colour-class
     // size (most constrained first).
     let mut order: Vec<u32> = (0..n as u32).collect();
@@ -63,6 +76,27 @@ pub fn find_isomorphism(a: &Structure, b: &Structure) -> Option<Vec<u32>> {
 /// True iff the two structures are isomorphic.
 pub fn isomorphic(a: &Structure, b: &Structure) -> bool {
     find_isomorphism(a, b).is_some()
+}
+
+/// Isomorphism with a complete-invariant fast path: callers that already hold
+/// a *canonical key* for each structure — a value equal iff the structures are
+/// isomorphic, such as the canonical code of a topological invariant — pass
+/// the keys and the answer is a single comparison; when either key is missing
+/// the generic backtracking search decides.
+///
+/// The keys must be complete invariants for isomorphism of the structures
+/// passed (equal keys ⟺ isomorphic structures); partial invariants such as
+/// hashes would make the `false` answer unsound.
+pub fn isomorphic_with_keys<K: Eq>(
+    a: &Structure,
+    b: &Structure,
+    key_a: Option<&K>,
+    key_b: Option<&K>,
+) -> bool {
+    match (key_a, key_b) {
+        (Some(ka), Some(kb)) => ka == kb,
+        _ => isomorphic(a, b),
+    }
 }
 
 /// Iterated colour refinement (1-dimensional Weisfeiler–Leman adapted to

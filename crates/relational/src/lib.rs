@@ -34,5 +34,5 @@ pub mod structure;
 pub use datalog::{Literal, Program, Rule, Semantics};
 pub use fo::{Formula, Term};
 pub use games::fo_equivalent;
-pub use isomorphism::{find_isomorphism, isomorphic};
+pub use isomorphism::{find_isomorphism, isomorphic, isomorphic_with_keys};
 pub use structure::Structure;

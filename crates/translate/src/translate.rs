@@ -1,7 +1,7 @@
 //! Effective translations into invariant-side queries (Theorems 3.4, 4.1, 4.2).
 
 use topo_invariant::invert::InvertError;
-use topo_invariant::{CellKind, TopologicalInvariant};
+use topo_invariant::TopologicalInvariant;
 use topo_relational::Structure;
 use topo_spatial::{DirectEvaluator, PointFormula, RealFormula};
 
@@ -12,19 +12,42 @@ use topo_spatial::{DirectEvaluator, PointFormula, RealFormula};
 /// Theorem 3.4 constructs; once it exists, any PTIME query can be evaluated
 /// on it by an order-aware fixpoint program (Immerman–Vardi).
 ///
-/// The cell order used here is the deterministic export order; the canonical
-/// order of Theorem 3.4 (invariant under isomorphism) is obtained by sorting
-/// cells according to [`TopologicalInvariant::canonical_code`]'s component
-/// ordering and is not needed for query evaluation, only for the
-/// logical-definability argument — see DESIGN.md.
+/// The cell order used here is the deterministic export order, which is
+/// enough for query evaluation; [`canonical_ordered_copy`] instead uses the
+/// canonical order of Theorem 3.4 (invariant under isomorphism), the object
+/// the logical-definability argument needs.
 pub fn ordered_copy(invariant: &TopologicalInvariant) -> Structure {
+    // Export order: the cell elements in ascending domain order.
+    let elements: Vec<u32> = (2..(invariant.cell_count() as u32 + 2)).collect();
+    with_cell_order(invariant, &elements)
+}
+
+/// An ordered copy whose `CellOrder` is the *canonical* cell order realising
+/// the invariant's canonical code ([`TopologicalInvariant::canonical_cell_order`],
+/// cached on the invariant). Unlike [`ordered_copy`], this order is invariant
+/// under isomorphism: isomorphic invariants yield isomorphic canonical ordered
+/// copies, which is exactly the order Theorem 3.4's fixpoint+counting query
+/// defines before handing the structure to an order-aware program
+/// (Immerman–Vardi).
+pub fn canonical_ordered_copy(invariant: &TopologicalInvariant) -> Structure {
+    let elements: Vec<u32> = invariant
+        .canonical_cell_order()
+        .iter()
+        .map(|&(kind, id)| invariant.cell_element(kind, id))
+        .collect();
+    with_cell_order(invariant, &elements)
+}
+
+/// The shared scaffold of the ordered copies: the relational export plus the
+/// numeric relations plus `CellOrder` as the strict total order listing the
+/// given domain elements first to last.
+fn with_cell_order(invariant: &TopologicalInvariant, elements: &[u32]) -> Structure {
     let mut structure = invariant.to_structure();
     structure.add_numeric_relations();
     structure.add_relation("CellOrder", 2);
-    let n = structure.domain_size() as u32;
-    for i in 2..n {
-        for j in (i + 1)..n {
-            structure.insert("CellOrder", &[i, j]);
+    for (i, &a) in elements.iter().enumerate() {
+        for &b in &elements[i + 1..] {
+            structure.insert("CellOrder", &[a, b]);
         }
     }
     structure
@@ -103,7 +126,6 @@ pub fn cell_census(structure: &Structure) -> (usize, usize, usize) {
 /// Convenience: the kinds and counts of an invariant, for comparison with
 /// [`cell_census`].
 pub fn invariant_census(invariant: &TopologicalInvariant) -> (usize, usize, usize) {
-    let _ = CellKind::Vertex;
     (invariant.vertex_count(), invariant.edge_count(), invariant.face_count())
 }
 
@@ -140,6 +162,25 @@ mod tests {
         // The order is total on the cell part of the domain.
         let cells = structure.domain_size() - 2;
         assert_eq!(structure.relation("CellOrder").unwrap().len(), cells * (cells - 1) / 2);
+    }
+
+    #[test]
+    fn canonical_ordered_copies_of_isomorphic_invariants_are_isomorphic() {
+        // Isomorphic invariants from different geometry: the canonical cell
+        // order is isomorphism-invariant, so the canonical ordered copies are
+        // isomorphic structures — the deterministic export order need not be.
+        let a = top(&nested_instance());
+        let b = top(&SpatialInstance::from_regions([
+            ("P", Region::rectangle(500, -300, 900, 100)),
+            ("Q", Region::rectangle(600, -200, 800, 0)),
+        ]));
+        assert!(a.is_isomorphic_to(&b));
+        let (ca, cb) = (canonical_ordered_copy(&a), canonical_ordered_copy(&b));
+        assert_eq!(cell_census(&ca), cell_census(&cb));
+        // The canonical order is total on the cell part of the domain.
+        let cells = ca.domain_size() - 2;
+        assert_eq!(ca.relation("CellOrder").unwrap().len(), cells * (cells - 1) / 2);
+        assert!(topo_relational::isomorphic(&ca, &cb));
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! The overhauled canonicalisation (token-stream codes, memoised subtrees,
+//! pruned Lemma 3.1 sweep, invariant-side cache) must induce exactly the same
+//! partition into isomorphism classes as the frozen PR 2 reference
+//! implementation (`canonical_code_naive`), and the cache on
+//! [`TopologicalInvariant`] must never go stale.
+//!
+//! The codes themselves are different objects (compact `u32` tokens vs
+//! strings), so equivalence is asserted at the partition level: two invariants
+//! have equal token codes iff they have equal reference codes.
+
+use proptest::prelude::*;
+use topo_core::{canonical_code_naive, top, Region, SpatialInstance, TopologicalInvariant};
+use topo_datagen::{
+    figure1, ign_city, nested_rings, scattered_islands, sequoia_hydro, sequoia_landcover, Scale,
+};
+use topo_geometry::Point;
+
+/// Asserts that the token codes and the reference codes partition the given
+/// invariants identically.
+fn assert_same_partition(invariants: &[TopologicalInvariant], label: &str) {
+    let naive: Vec<String> = invariants.iter().map(canonical_code_naive).collect();
+    for i in 0..invariants.len() {
+        for j in i..invariants.len() {
+            let fast_equal = invariants[i].canonical_code() == invariants[j].canonical_code();
+            let naive_equal = naive[i] == naive[j];
+            assert_eq!(
+                fast_equal, naive_equal,
+                "partition diverged between invariants {i} and {j} of {label}"
+            );
+            // `is_isomorphic_to` must agree with both (it answers through the
+            // cached code and hash).
+            assert_eq!(fast_equal, invariants[i].is_isomorphic_to(&invariants[j]));
+            if fast_equal {
+                assert_eq!(invariants[i].code_hash(), invariants[j].code_hash());
+            }
+        }
+    }
+}
+
+#[test]
+fn seeded_workloads_partition_identically() {
+    let mut invariants = Vec::new();
+    for seed in [1u64, 7, 42] {
+        let scale = Scale::tiny();
+        invariants.push(top(&sequoia_landcover(scale, seed)));
+        invariants.push(top(&sequoia_hydro(scale, seed)));
+        invariants.push(top(&ign_city(scale, seed)));
+    }
+    invariants.push(top(&figure1()));
+    invariants.push(top(&nested_rings(3, 2)));
+    invariants.push(top(&nested_rings(2, 3)));
+    invariants.push(top(&scattered_islands(5)));
+    assert_same_partition(&invariants, "seeded workloads");
+}
+
+#[test]
+fn transformed_copies_stay_in_the_same_class() {
+    use topo_core::spatial::transform::AffineMap;
+    let base = figure1();
+    let mut invariants = vec![top(&base)];
+    for map in
+        [AffineMap::translation(313, -77), AffineMap::rotation90(), AffineMap::reflection_x()]
+    {
+        invariants.push(top(&map.apply_instance(&base)));
+    }
+    // All transformed copies are topologically equivalent; both code paths
+    // must put them into a single class.
+    assert_same_partition(&invariants, "transformed figure1");
+    let reference = &invariants[0];
+    for other in &invariants[1..] {
+        assert!(reference.is_isomorphic_to(other));
+    }
+}
+
+#[test]
+fn cached_code_never_goes_stale() {
+    let invariant = top(&nested_rings(3, 2));
+    // Request the code first, then exercise every other accessor family, then
+    // request it again: the invariant is immutable, so the cached code (and
+    // the allocation holding it) must be byte-identical.
+    let before = invariant.canonical_code().clone();
+    let before_ptr = invariant.canonical_code() as *const _;
+    let _ = invariant.to_structure();
+    let _ = invariant.to_structure_successor_only();
+    for f in 0..invariant.face_count() {
+        let _ = invariant.boundary_components(f);
+        let _ = invariant.face_edges(f);
+        let _ = invariant.face_vertices(f);
+    }
+    for v in 0..invariant.vertex_count() {
+        let _ = invariant.cone(v);
+    }
+    for c in 0..invariant.components().len() {
+        let _ = invariant.owned_faces(c);
+    }
+    assert_eq!(&before, invariant.canonical_code());
+    // Pointer equality proves the second call was a cache hit, not a
+    // recomputation that happened to produce the same value.
+    assert!(std::ptr::eq(before_ptr, invariant.canonical_code()));
+    assert_eq!(before.code_hash(), invariant.code_hash());
+
+    // A fresh invariant of the same instance, asked in the opposite order
+    // (other accessors first, code last), agrees.
+    let fresh = top(&nested_rings(3, 2));
+    let _ = fresh.to_structure();
+    assert_eq!(fresh.canonical_code(), &before);
+
+    // Cloning carries the cache; the clone answers without recomputation and
+    // agrees with the original.
+    let cloned = invariant.clone();
+    assert_eq!(cloned.canonical_code(), invariant.canonical_code());
+    assert_eq!(cloned.code_hash(), invariant.code_hash());
+}
+
+#[test]
+fn canonical_cell_order_realises_the_code() {
+    for instance in [figure1(), nested_rings(2, 2), scattered_islands(4)] {
+        let invariant = top(&instance);
+        let order = invariant.canonical_cell_order();
+        assert_eq!(order.len(), invariant.cell_count());
+        let distinct: std::collections::HashSet<_> = order.iter().collect();
+        assert_eq!(distinct.len(), invariant.cell_count(), "canonical order is a permutation");
+        assert_eq!(
+            *order.last().unwrap(),
+            (topo_core::invariant::CellKind::Face, invariant.exterior_face())
+        );
+    }
+}
+
+/// A small random instance of rectangles and isolated points (same shape as
+/// the structural property tests, including crossing and nested boundaries).
+fn small_instance() -> impl Strategy<Value = SpatialInstance> {
+    let rect = (0i64..6, 0i64..6, 1i64..4, 1i64..4)
+        .prop_map(|(x, y, w, h)| (x * 100, y * 100, x * 100 + w * 60, y * 100 + h * 60));
+    let rects = proptest::collection::vec(rect, 1..4);
+    let points = proptest::collection::vec((0i64..40, 0i64..40), 0..3);
+    (rects, points).prop_map(|(rects, points)| {
+        let mut a = Region::new();
+        let mut b = Region::new();
+        for (i, (x0, y0, x1, y1)) in rects.into_iter().enumerate() {
+            let ring = vec![
+                Point::from_ints(x0, y0),
+                Point::from_ints(x1, y0),
+                Point::from_ints(x1, y1),
+                Point::from_ints(x0, y1),
+            ];
+            if i % 2 == 0 {
+                a.add_ring(ring);
+            } else {
+                b.add_ring(ring);
+            }
+        }
+        for (x, y) in points {
+            b.add_point(Point::from_ints(x, y));
+        }
+        SpatialInstance::from_regions([("A", a), ("B", b)])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// On random instance pairs, the memoised/pruned codes decide equality
+    /// exactly as the frozen reference codes do.
+    #[test]
+    fn random_pairs_partition_identically(
+        first in small_instance(),
+        second in small_instance(),
+        dx in -500i64..500,
+        dy in -500i64..500,
+    ) {
+        let moved = topo_core::spatial::transform::AffineMap::translation(dx, dy)
+            .apply_instance(&first);
+        let invariants = [top(&first), top(&second), top(&moved)];
+        let naive: Vec<String> = invariants.iter().map(canonical_code_naive).collect();
+        for i in 0..invariants.len() {
+            for j in i..invariants.len() {
+                prop_assert_eq!(
+                    invariants[i].canonical_code() == invariants[j].canonical_code(),
+                    naive[i] == naive[j],
+                    "partition diverged between {} and {}", i, j
+                );
+            }
+        }
+        // The translated copy is always equivalent to the original.
+        prop_assert!(invariants[0].is_isomorphic_to(&invariants[2]));
+    }
+}

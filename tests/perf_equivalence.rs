@@ -6,8 +6,9 @@
 //! `top_naive` runs the seed arrangement builder under slow-mode rational
 //! arithmetic (see `topo-arrangement`'s `naive` module); these tests are the
 //! guard-rail that keeps every fast path honest. The perf harness
-//! (`bench_runner`, `BENCH_2.json`) measures the speedup between the two
-//! paths that these tests prove equivalent.
+//! (`bench_runner`, `BENCH_3.json`) measures the speedup between the two
+//! paths that these tests prove equivalent; `canonical_equivalence.rs` does
+//! the same job for the canonicalisation reference path.
 
 use proptest::prelude::*;
 use topo_core::{top, top_naive, Region, SpatialInstance};

@@ -98,10 +98,11 @@ proptest! {
         dx in -1000i64..1000,
         dy in -1000i64..1000,
     ) {
-        let code = topo_core::top(&instance).canonical_code();
+        let invariant = topo_core::top(&instance);
         let moved = topo_core::spatial::transform::AffineMap::translation(dx, dy)
             .apply_instance(&instance);
-        prop_assert_eq!(code, topo_core::top(&moved).canonical_code());
+        let moved_invariant = topo_core::top(&moved);
+        prop_assert_eq!(invariant.canonical_code(), moved_invariant.canonical_code());
     }
 
     /// Direct and invariant-side evaluation agree on the core queries.
