@@ -2,13 +2,15 @@
 //!
 //! Measures the `geometry → arrangement → invariant` construction path stage
 //! by stage *and* the canonicalisation stage (`canonical_code`, cached
-//! re-reads, cached isomorphism checks) on the seeded cartographic workloads,
-//! at three datagen scales, against the frozen pre-optimisation reference
-//! paths (`topo_core::top_naive`, `topo_core::canonical_code_naive`), and
-//! writes the medians to a JSON file so every perf PR has a recorded
-//! trajectory to beat. `BENCH_3.json` at the repository root is the committed
-//! baseline (`BENCH_2.json` is the PR 2 construction-only record); see
-//! DESIGN.md, "Performance" and "Canonicalisation".
+//! re-reads, cached isomorphism checks, plus the giant-component sweep
+//! statistics behind the lazy Lemma 3.1 serialisation) on the seeded
+//! cartographic workloads, at three datagen scales, against the frozen
+//! pre-optimisation reference paths (`topo_core::top_naive`,
+//! `topo_core::canonical_code_naive`), and writes the medians to a JSON file
+//! so every perf PR has a recorded trajectory to beat. `BENCH_4.json` at the
+//! repository root is the committed baseline (`BENCH_3.json` is the PR 3
+//! record, `BENCH_2.json` the PR 2 construction-only one); see DESIGN.md,
+//! "Performance" and "Canonicalisation".
 //!
 //! ```text
 //! bench_runner [--quick] [--out PATH]
@@ -16,7 +18,9 @@
 //!
 //! `--quick` drops the sample count and skips the reference canonicalisation
 //! on the scales where it is intractable (for CI smoke coverage); the default
-//! sample count matches the committed baseline. Requires the
+//! sample count matches the committed baseline. Every median in the JSON is
+//! accompanied by the sample count actually used for it, so quick-mode
+//! records are honest about how little they measured. Requires the
 //! `naive-reference` feature:
 //!
 //! ```text
@@ -24,7 +28,7 @@
 //!     --bin bench_runner -- --quick --out BENCH_ci.json
 //! ```
 
-use std::time::Instant;
+use topo_bench::{median_ns, median_ns_with};
 use topo_core::{SpatialInstance, TopologicalInvariant};
 use topo_datagen::{ign_city, sequoia_hydro, sequoia_landcover, Scale};
 
@@ -37,30 +41,6 @@ const SEED: u64 = 7;
 const NAIVE_CANONICAL_CELL_LIMIT: usize = 3000;
 /// Inner repetitions when timing the (sub-microsecond) cached paths.
 const CACHED_REPS: u32 = 1024;
-
-/// Median of the timed samples of one closure, in nanoseconds.
-fn median_ns<T>(samples: usize, mut f: impl FnMut() -> T) -> u128 {
-    median_ns_with(samples, || (), |()| f())
-}
-
-/// Like [`median_ns`], but re-running an untimed `setup` before every timed
-/// sample, so mutating stages can be measured in isolation.
-fn median_ns_with<S, T>(
-    samples: usize,
-    mut setup: impl FnMut() -> S,
-    mut f: impl FnMut(S) -> T,
-) -> u128 {
-    let mut times: Vec<u128> = (0..samples)
-        .map(|_| {
-            let state = setup();
-            let start = Instant::now();
-            std::hint::black_box(f(state));
-            start.elapsed().as_nanos()
-        })
-        .collect();
-    times.sort_unstable();
-    times[times.len() / 2]
-}
 
 struct ScaleReport {
     grid: usize,
@@ -78,10 +58,17 @@ struct ScaleReport {
     iso_cached_ns: f64,
     /// The frozen reference canonicalisation, when tractable at this scale.
     naive_canonical_ns: Option<u128>,
+    /// Samples actually used for the construction stages at this scale.
+    stage_samples: usize,
     /// Samples actually used for the cold canonical median (≤ `samples`).
     canonical_samples: usize,
     /// Samples actually used for the reference canonical median.
     naive_canonical_samples: Option<usize>,
+    /// Giant-component sweep statistics: skeleton cells of the largest
+    /// component, its Lemma 3.1 start choices, and the choices surviving the
+    /// refined start filter (each survivor streams until its first losing
+    /// token).
+    giant: topo_core::SweepStats,
 }
 
 impl ScaleReport {
@@ -203,9 +190,10 @@ fn measure_scale(
         median_ns(samples, || topo_core::arrangement::build_arrangement_naive(&input));
     let naive_top_ns = median_ns(samples, || topo_core::top_naive(instance));
     // Cheap re-freeze of the already-reduced complex; avoids one more full
-    // end-to-end run just to read the cell count.
-    let cells =
-        TopologicalInvariant::from_complex(&complex, instance.schema().clone()).cell_count();
+    // end-to-end run just to read the cell count and sweep statistics.
+    let frozen = TopologicalInvariant::from_complex(&complex, instance.schema().clone());
+    let cells = frozen.cell_count();
+    let giant = topo_core::sweep_stats(&frozen);
     let canonical = measure_canonical(instance, cells, samples, quick);
     ScaleReport {
         grid,
@@ -223,8 +211,10 @@ fn measure_scale(
         canonical_cached_ns: canonical.cached_ns,
         iso_cached_ns: canonical.iso_ns,
         naive_canonical_ns: canonical.naive_ns,
+        stage_samples: samples,
         canonical_samples: canonical.samples,
         naive_canonical_samples: canonical.naive_samples,
+        giant,
     }
 }
 
@@ -246,7 +236,7 @@ fn main() {
             if quick {
                 "BENCH_quick.json".to_string()
             } else {
-                "BENCH_3.json".to_string()
+                "BENCH_4.json".to_string()
             }
         });
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -264,18 +254,25 @@ fn main() {
 
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"id\": \"BENCH_3\",\n");
+    out.push_str("  \"id\": \"BENCH_4\",\n");
     out.push_str(
         "  \"description\": \"top(I) construction and canonicalisation: per-stage medians \
          and speedups vs the frozen reference paths (naive seed arrangement + slow-mode \
          rational arithmetic; PR 2 String canonical codes). canonical.first is a cold \
-         canonical_code() on a fresh invariant; cached/iso are per-call costs on warmed \
-         invariants; naive_canonical is null where the reference path is intractable\",\n",
+         canonical_code() on a fresh invariant (the lazy streamed Lemma 3.1 sweep); \
+         cached/iso are per-call costs on warmed invariants; giant_component records the \
+         largest skeleton component and its start-choice pruning; samples objects record \
+         the sample counts actually used per median; naive_canonical is null where the \
+         reference path is intractable\",\n",
     );
     out.push_str(&format!("  \"mode\": \"{}\",\n", if quick { "quick" } else { "full" }));
     out.push_str(&format!("  \"samples\": {samples},\n"));
+    out.push_str(&format!("  \"cached_reps\": {CACHED_REPS},\n"));
     out.push_str(&format!("  \"datagen_seed\": {SEED},\n"));
     out.push_str("  \"workloads\": [\n");
+    // (workload, grid, cells, cold canonical ns, giant stats) rows for the
+    // end-of-run summary that CI greps out of the log.
+    let mut summary: Vec<(String, usize, usize, u128, topo_core::SweepStats)> = Vec::new();
 
     for (w, (name, gen)) in workloads.iter().enumerate() {
         eprintln!("== {name} ==");
@@ -304,6 +301,13 @@ fn main() {
                 report.naive_canonical_ns.map_or("(skipped)".to_string(), |n| format!("{n} ns")),
                 report.canonical_speedup().map_or("n/a".to_string(), |s| format!("{s:.0}x")),
             );
+            summary.push((
+                name.to_string(),
+                report.grid,
+                report.cells,
+                report.canonical_first_ns,
+                report.giant,
+            ));
             out.push_str("        {\n");
             out.push_str(&format!("          \"grid\": {},\n", report.grid));
             out.push_str(&format!("          \"cells\": {},\n", report.cells));
@@ -321,7 +325,16 @@ fn main() {
                 report.canonical_first_ns, report.canonical_cached_ns, report.iso_cached_ns
             ));
             out.push_str(&format!(
-                "          \"canonical_samples\": {{\"first\": {}, \"naive\": {}}},\n",
+                "          \"giant_component\": {{\"skeleton_cells\": {}, \"choices\": {}, \
+                 \"surviving_choices\": {}}},\n",
+                report.giant.giant_skeleton_cells,
+                report.giant.giant_choices,
+                report.giant.giant_surviving_choices,
+            ));
+            out.push_str(&format!(
+                "          \"samples_used\": {{\"stages\": {}, \"canonical_first\": {}, \
+                 \"naive_canonical\": {}}},\n",
+                report.stage_samples,
                 report.canonical_samples,
                 report.naive_canonical_samples.map_or("null".to_string(), |n| n.to_string()),
             ));
@@ -348,4 +361,19 @@ fn main() {
 
     std::fs::write(&out_path, &out).expect("write benchmark baseline");
     eprintln!("wrote {out_path}");
+
+    // Cold-canonicalisation summary, one line per workload/scale, so CI logs
+    // (and humans skimming them) see canonicalisation regressions at a
+    // glance without opening the JSON.
+    eprintln!("== cold canonical_code() per workload ==");
+    for (name, grid, cells, first_ns, giant) in &summary {
+        eprintln!(
+            "  {name:<20} grid {grid:>2}  cells {cells:>6}  giant {:>6}  choices {:>6} -> {:<4} \
+             cold {:>12} ns",
+            giant.giant_skeleton_cells,
+            giant.giant_choices,
+            giant.giant_surviving_choices,
+            first_ns,
+        );
+    }
 }

@@ -103,6 +103,51 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     (value, start.elapsed())
 }
 
+/// The median of a sorted-or-not slice of nanosecond samples: the middle
+/// element for odd counts, the mean of the two middle elements (rounded down)
+/// for even counts, and 0 for an empty slice — callers must record the sample
+/// count alongside the median so a zero-sample "median" is never mistaken for
+/// a measurement.
+pub fn median_of_ns(samples: &mut [u128]) -> u128 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        // Mean of the two middle samples; u128 headroom makes the sum safe.
+        (samples[mid - 1] + samples[mid]) / 2
+    }
+}
+
+/// Median of `samples` timed runs of one closure, in nanoseconds.
+///
+/// Returns 0 when `samples == 0` (and runs nothing); see [`median_of_ns`] for
+/// the even-count behaviour.
+pub fn median_ns<T>(samples: usize, mut f: impl FnMut() -> T) -> u128 {
+    median_ns_with(samples, || (), |()| f())
+}
+
+/// Like [`median_ns`], but re-running an untimed `setup` before every timed
+/// sample, so mutating stages can be measured in isolation.
+pub fn median_ns_with<S, T>(
+    samples: usize,
+    mut setup: impl FnMut() -> S,
+    mut f: impl FnMut(S) -> T,
+) -> u128 {
+    let mut times: Vec<u128> = (0..samples)
+        .map(|_| {
+            let state = setup();
+            let start = Instant::now();
+            std::hint::black_box(f(state));
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    median_of_ns(&mut times)
+}
+
 /// A small suite of library queries exercised by the strategy-comparison
 /// experiment, over the first two regions of a schema.
 pub fn strategy_queries() -> Vec<topo_core::TopologicalQuery> {
@@ -122,4 +167,38 @@ pub fn strategy_queries() -> Vec<topo_core::TopologicalQuery> {
 /// Convenience: the invariant of an instance, with construction time.
 pub fn build_invariant(instance: &SpatialInstance) -> (TopologicalInvariant, Duration) {
     timed(|| topo_core::top(instance))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_takes_middle() {
+        assert_eq!(median_of_ns(&mut [5, 1, 9]), 5);
+        assert_eq!(median_of_ns(&mut [7]), 7);
+    }
+
+    #[test]
+    fn median_even_averages_the_middle_pair() {
+        // The pre-fix index-based median returned 9 here.
+        assert_eq!(median_of_ns(&mut [1, 3, 9, 11]), 6);
+        assert_eq!(median_of_ns(&mut [2, 4]), 3);
+    }
+
+    #[test]
+    fn median_zero_samples_is_zero_not_a_panic() {
+        assert_eq!(median_of_ns(&mut []), 0);
+        assert_eq!(median_ns(0, || ()), 0);
+        let mut setups = 0;
+        assert_eq!(median_ns_with(0, || setups += 1, |()| ()), 0);
+        assert_eq!(setups, 0, "zero samples must not run the setup either");
+    }
+
+    #[test]
+    fn median_ns_counts_samples() {
+        let mut runs = 0u32;
+        let _ = median_ns(4, || runs += 1);
+        assert_eq!(runs, 4);
+    }
 }

@@ -51,8 +51,8 @@ pub use topo_geometry::{Point, Rational};
 #[cfg(feature = "naive-reference")]
 pub use topo_invariant::{canonical_code_naive, top_naive};
 pub use topo_invariant::{
-    invert, invert_verified, top, top_unreduced, CanonicalCode, CanonicalForm, CodeHash,
-    InvariantStats, TopologicalInvariant,
+    invert, invert_verified, sweep_stats, top, top_unreduced, CanonicalCode, CanonicalForm,
+    CodeHash, InvariantStats, SweepStats, TopologicalInvariant,
 };
 pub use topo_queries::{
     component_count, datalog_program, euler_characteristic, evaluate_direct, evaluate_on_classes,

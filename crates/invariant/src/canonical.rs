@@ -15,26 +15,50 @@
 //! equivalent. The test suites cross-validate this equivalence against the
 //! generic backtracking isomorphism of `topo-relational`.
 //!
-//! # Implementation notes (the PR 3 overhaul)
+//! # Implementation notes (the PR 3 overhaul, made lazy in PR 4)
 //!
 //! Codes are compact `u32` token streams (see [`CanonicalCode`]), not strings:
 //! comparison is a machine-word `memcmp` and serialising a cell never
 //! allocates or formats. The Lemma 3.1 parameter sweep over the
 //! `(orientation, vertex, edge)` choices of a component is pruned in three
-//! ways, none of which changes the resulting minimum:
+//! ways:
 //!
-//! * **Region-signature filter.** A candidate serialisation starts with the
-//!   region set of its start vertex, so any start vertex whose region
-//!   signature is lexicographically greater than the minimal signature can
-//!   never realise the minimal code and is skipped before its traversal is
-//!   even built.
-//! * **Early-abandon comparison.** Candidate serialisations are emitted
-//!   token by token against the best-so-far code and abandoned at the first
-//!   greater token, so losing candidates cost only their common prefix.
+//! * **Lazy candidate serialisation.** A candidate's Lemma 3.1 traversal and
+//!   its serialisation are one interleaved pass (`stream_candidate`): every
+//!   cell emits its tokens the moment the traversal first reaches it, and the
+//!   first token that compares greater than the best-so-far code aborts the
+//!   candidate *including the rest of its traversal*. A losing start choice
+//!   therefore costs only the shared prefix of its stream, not an `O(cells)`
+//!   ordering build — the fix for the giant-component blowup where each of
+//!   thousands of surviving choices paid a full traversal before its first
+//!   token could be compared.
+//! * **Refined start filter.** Start vertices are filtered by an iterated
+//!   1-neighbourhood colour refinement (region signature + degree, then
+//!   repeatedly extended with the sorted multiset of incident edge/endpoint
+//!   colours — computed once per canonicalisation in `Indexes`). Only
+//!   choices in the minimal colour class of their component, further filtered
+//!   to the minimal `(edge colour, far-endpoint colour)` key, are swept. The
+//!   restriction is isomorphism-invariant, so the minimum over the surviving
+//!   choices is still a complete invariant (equal codes iff isomorphic) even
+//!   though it is no longer the minimum over *all* choices.
 //! * **Memoised subtrees.** Each component's minimal code is computed once
 //!   per orientation, bottom-up over the component tree, and the children
 //!   embedded in a face are pre-joined into one per-face blob, so a parent's
 //!   candidate sweep never re-serialises a subtree.
+//!
+//! The streamed format is a first-encounter encoding: a component with proper
+//! edges serialises as its DFS vertex stream, where each vertex emits its
+//! region signature and its rotation (cone) anchored at the associated edge of
+//! Lemma 3.1, and every edge and owned face is assigned its rank — and emits
+//! its own region signature (plus, for faces, the embedded-children blob) —
+//! at its first appearance in that stream. The stream determines the component
+//! up to isomorphism relative to the parameter choice, every token depends
+//! only on the traversal prefix emitted so far, and all candidate streams of
+//! one component have the same length. Degenerate components (Lemma 3.1's
+//! special cases: isolated vertices, vertex-free closed curves, loop-only
+//! vertices) keep the PR 3 rank-based block format; the two formats cannot
+//! collide because streamed codes begin with the dedicated `CTRL_STREAM`
+//! token.
 //!
 //! The pre-overhaul String implementation is frozen verbatim in the `naive`
 //! submodule (compiled for tests and under the `naive-reference` feature);
@@ -135,8 +159,11 @@ pub struct CanonicalForm {
     /// The canonical code.
     pub code: CanonicalCode,
     /// A total order of all cells realising the code: each component's cells
-    /// in the winning Lemma 3.1 order, children of a face in sorted-code
-    /// order, the exterior face last.
+    /// in the winning candidate's emission order (first-encounter order of
+    /// the streamed Lemma 3.1 traversal for components with proper edges,
+    /// vertices-then-edges-then-faces for the degenerate components), the
+    /// children embedded in a face following the face in sorted-code order,
+    /// the exterior face last.
     pub order: Vec<CellRef>,
 }
 
@@ -158,6 +185,7 @@ const CTRL_CHILDREN_OPEN: u32 = 8; // embedded-children multiset opener
 const CTRL_CHILD_SEP: u32 = 9; // embedded-children separator
 const CTRL_CHILDREN_CLOSE: u32 = 10; // embedded-children multiset closer
 const CTRL_EXTERIOR: u32 = 11; // whole-invariant wrapper
+const CTRL_STREAM: u32 = 12; // first-encounter stream opener (proper components)
 
 const TAG_REGION: u32 = 1 << 28; // + region id
 const TAG_EDGE_RANK: u32 = 2 << 28; // + edge rank within the ordering
@@ -189,6 +217,60 @@ pub fn canonical_form(invariant: &TopologicalInvariant) -> CanonicalForm {
     CanonicalForm { code: CanonicalCode { schema, tokens }, order }
 }
 
+/// Pruning statistics of the Lemma 3.1 start-choice sweep on the invariant's
+/// largest skeleton component — the observable behind the giant-component
+/// metrics recorded by the bench runner.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Number of skeleton components.
+    pub components: usize,
+    /// Skeleton cells (vertices + edges) of the largest component.
+    pub giant_skeleton_cells: usize,
+    /// All Lemma 3.1 `(vertex, proper edge)` choices of that component
+    /// (per orientation).
+    pub giant_choices: usize,
+    /// Choices surviving the refined start filter (per orientation); each
+    /// survivor streams until its first losing token.
+    pub giant_surviving_choices: usize,
+}
+
+/// Computes [`SweepStats`] for an invariant (zeroes on an empty skeleton).
+pub fn sweep_stats(invariant: &TopologicalInvariant) -> SweepStats {
+    let components = invariant.components().len();
+    let Some(giant) = (0..components).max_by_key(|&c| {
+        let comp = &invariant.components()[c];
+        comp.vertices.len() + comp.edges.len()
+    }) else {
+        return SweepStats {
+            components: 0,
+            giant_skeleton_cells: 0,
+            giant_choices: 0,
+            giant_surviving_choices: 0,
+        };
+    };
+    let comp = &invariant.components()[giant];
+    let is_proper = |e: usize| matches!(invariant.edge_endpoints(e), Some((a, b)) if a != b);
+    let choices: usize = comp
+        .vertices
+        .iter()
+        .map(|&v| invariant.vertex_slots(v).iter().filter(|&&(e, _)| is_proper(e)).count())
+        .sum();
+    let surviving = if comp.edges.iter().any(|&e| is_proper(e)) {
+        let idx = Indexes::build(invariant);
+        admissible_choices(invariant, &idx, giant).len()
+    } else {
+        // Degenerate components enumerate their handful of reference
+        // orderings; report that count instead.
+        component_orderings(invariant, giant, Orientation::CounterClockwise).len()
+    };
+    SweepStats {
+        components,
+        giant_skeleton_cells: comp.vertices.len() + comp.edges.len(),
+        giant_choices: choices,
+        giant_surviving_choices: surviving,
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Precomputed incidence indexes (built once per canonicalisation).
 // ---------------------------------------------------------------------------
@@ -207,6 +289,104 @@ struct Indexes {
     vertex_region_toks: Vec<Vec<u32>>,
     edge_region_toks: Vec<Vec<u32>>,
     face_region_toks: Vec<Vec<u32>>,
+    /// Refined start-filter colours (see [`refine_colours`]): dense ranks of
+    /// isomorphism-invariant vertex/edge keys, so comparing two colours of
+    /// cells in one invariant compares their intrinsic refinement keys.
+    vertex_colour: Vec<u32>,
+    edge_colour: Vec<u32>,
+}
+
+/// Number of 1-neighbourhood refinement rounds. A fixed, deterministic cap
+/// keeps the refinement `O(rounds × Σ degree × log)` on path-like components
+/// where full stabilisation would take `O(diameter)` rounds; any deterministic
+/// cap preserves isomorphism-invariance of the resulting colours.
+const REFINEMENT_ROUNDS: usize = 12;
+
+/// Assigns dense ranks (0-based, by ascending key order) to a list of keys.
+/// Equal keys receive equal ranks. Returns the ranks and the number of
+/// distinct classes.
+fn dense_ranks<K: Ord>(keys: &[K]) -> (Vec<u32>, usize) {
+    let mut by_key: Vec<usize> = (0..keys.len()).collect();
+    by_key.sort_by(|&a, &b| keys[a].cmp(&keys[b]));
+    let mut ranks = vec![0u32; keys.len()];
+    let mut rank = 0u32;
+    for (i, &v) in by_key.iter().enumerate() {
+        if i > 0 && keys[v] != keys[by_key[i - 1]] {
+            rank += 1;
+        }
+        ranks[v] = rank;
+    }
+    let classes = if keys.is_empty() { 0 } else { rank as usize + 1 };
+    (ranks, classes)
+}
+
+/// Iterated 1-neighbourhood colour refinement over the vertices (and a static
+/// colouring of the edges), the start-choice filter of the lazy sweep.
+///
+/// Edge colour: dense rank of the edge's region signature plus its shape
+/// (closed curve / loop / proper). Vertex colour: dense rank of the region
+/// signature and degree, refined for up to [`REFINEMENT_ROUNDS`] rounds by the
+/// sorted multiset of `(edge colour, far-endpoint colour)` pairs over the
+/// incident slots — the classical colour-refinement step, orientation-free by
+/// construction. All keys are intrinsic (region sets, degrees, multisets of
+/// previous-round colours), and dense ranking is order-preserving, so the
+/// relative order of two colours *within one component* is determined by the
+/// component alone: isomorphic components (in the same or different
+/// invariants) induce corresponding minimal colour classes.
+fn refine_colours(
+    inv: &TopologicalInvariant,
+    vertex_region_toks: &[Vec<u32>],
+    edge_region_toks: &[Vec<u32>],
+) -> (Vec<u32>, Vec<u32>) {
+    let (nv, ne) = (inv.vertex_count(), inv.edge_count());
+    let edge_keys: Vec<(&[u32], u8)> = (0..ne)
+        .map(|e| {
+            let shape = match inv.edge_endpoints(e) {
+                None => 0u8,                 // vertex-free closed curve
+                Some((a, b)) if a == b => 1, // loop
+                Some(_) => 2,                // proper edge
+            };
+            (edge_region_toks[e].as_slice(), shape)
+        })
+        .collect();
+    let (edge_colour, _) = dense_ranks(&edge_keys);
+
+    let vertex_keys: Vec<(&[u32], usize)> =
+        (0..nv).map(|v| (vertex_region_toks[v].as_slice(), inv.degree(v))).collect();
+    let (mut colour, mut classes) = dense_ranks(&vertex_keys);
+    let mut pair_buf: Vec<(u32, u32)> = Vec::new();
+    for _ in 0..REFINEMENT_ROUNDS {
+        if classes == nv {
+            break; // discrete colouring: nothing left to split
+        }
+        let keys: Vec<(u32, Vec<(u32, u32)>)> = (0..nv)
+            .map(|v| {
+                pair_buf.clear();
+                for &(e, end) in inv.vertex_slots(v) {
+                    let other = match inv.edge_endpoints(e) {
+                        Some((a, b)) => {
+                            if end == 0 {
+                                b
+                            } else {
+                                a
+                            }
+                        }
+                        None => v, // unreachable: slotted edges have endpoints
+                    };
+                    pair_buf.push((edge_colour[e], colour[other]));
+                }
+                pair_buf.sort_unstable();
+                (colour[v], pair_buf.clone())
+            })
+            .collect();
+        let (next, next_classes) = dense_ranks(&keys);
+        if next_classes == classes {
+            break; // partition stable: further rounds cannot split it
+        }
+        colour = next;
+        classes = next_classes;
+    }
+    (colour, edge_colour)
 }
 
 impl Indexes {
@@ -238,14 +418,22 @@ impl Indexes {
             out.push(CTRL_END);
             out
         };
+        let vertex_region_toks: Vec<Vec<u32>> =
+            (0..nv).map(|v| region_toks(inv.vertex_regions(v))).collect();
+        let edge_region_toks: Vec<Vec<u32>> =
+            (0..ne).map(|e| region_toks(inv.edge_regions(e))).collect();
+        let (vertex_colour, edge_colour) =
+            refine_colours(inv, &vertex_region_toks, &edge_region_toks);
         Indexes {
             face_edges,
             owned_faces,
             children,
             by_depth,
-            vertex_region_toks: (0..nv).map(|v| region_toks(inv.vertex_regions(v))).collect(),
-            edge_region_toks: (0..ne).map(|e| region_toks(inv.edge_regions(e))).collect(),
+            vertex_region_toks,
+            edge_region_toks,
             face_region_toks: (0..nf).map(|f| region_toks(inv.face_regions(f))).collect(),
+            vertex_colour,
+            edge_colour,
         }
     }
 }
@@ -255,18 +443,18 @@ impl Indexes {
 // ---------------------------------------------------------------------------
 
 struct Scratch {
-    /// Per-kind ranks within the current candidate ordering (`NO_RANK` when
-    /// the cell is not part of it).
+    /// Per-kind ranks within the current candidate (`NO_RANK` when the cell
+    /// has not been reached). On the streamed path these are the
+    /// first-encounter ranks, assigned incrementally as the traversal emits;
+    /// on the degenerate path they are the ranks of a pre-built ordering.
     vrank: Vec<u32>,
     erank: Vec<u32>,
     frank: Vec<u32>,
-    /// Associated edge per visited vertex (Lemma 3.1's traversal state).
-    assoc: Vec<usize>,
-    /// The current candidate's cell order.
+    /// The current candidate's cell order (first-encounter order on the
+    /// streamed path). Doubles as the undo log for [`Scratch::reset_ranks`].
     order_buf: Vec<CellRef>,
-    /// DFS stack, edge-sort keys, cone token buffer.
+    /// DFS stack and the degenerate path's cone token buffer.
     stack: Vec<(usize, usize)>,
-    edge_keys: Vec<(u32, u32, u32, usize)>,
     cone_buf: Vec<u32>,
     /// Sorted incident-edge ranks of the owned faces, flattened into one
     /// reusable buffer (no per-face allocation per candidate); `face_spans`
@@ -281,10 +469,8 @@ impl Scratch {
             vrank: vec![NO_RANK; inv.vertex_count()],
             erank: vec![NO_RANK; inv.edge_count()],
             frank: vec![NO_RANK; inv.face_count()],
-            assoc: vec![usize::MAX; inv.vertex_count()],
             order_buf: Vec::new(),
             stack: Vec::new(),
-            edge_keys: Vec::new(),
             cone_buf: Vec::new(),
             face_rank_buf: Vec::new(),
             face_spans: Vec::new(),
@@ -563,42 +749,17 @@ fn component_code(
     let mut builder = CodeBuilder::new();
 
     if has_proper {
-        // Admissible `(vertex, proper edge)` choices, in the deterministic
-        // enumeration order of Lemma 3.1.
-        let mut choices: Vec<(usize, usize)> = Vec::new();
-        for &v in &comp.vertices {
-            for &(e, _) in inv.vertex_slots(v) {
-                if is_proper(e) {
-                    choices.push((v, e));
-                }
-            }
-        }
-        // A proper edge has distinct endpoints, so it occupies exactly one
-        // slot at any vertex and each `(v, e)` choice appears exactly once.
-
-        // Region-signature filter: the serialisation of a candidate starts
-        // with the region set of its start vertex, so only start vertices
-        // with the lexicographically minimal region signature can win.
-        let signature = |v: usize| inv.vertex_regions(v).iter();
-        let min_sig = choices
-            .iter()
-            .map(|&(v, _)| v)
-            .min_by(|&a, &b| signature(a).cmp(signature(b)))
-            .expect("component with proper edges has a start choice");
-        choices.retain(|&(v, _)| signature(v).cmp(signature(min_sig)) == std::cmp::Ordering::Equal);
-        // Heuristic (result-neutral): try low-degree start vertices first so
-        // the early-abandon comparison has a strong incumbent early.
-        choices.sort_by_key(|&(v, _)| inv.degree(v));
-
-        for (v, e) in choices {
-            build_ordering_fast(inv, idx, scratch, component, orientation, v, e);
+        for (v, e) in admissible_choices(inv, idx, component) {
             builder.start_candidate();
-            let completed = serialize_candidate(
+            let completed = stream_candidate(
                 inv,
                 idx,
                 scratch,
-                comp.parent_face,
+                component,
                 orientation,
+                v,
+                e,
+                comp.parent_face,
                 face_blob,
                 &mut builder,
             );
@@ -635,10 +796,59 @@ fn component_code(
     CompResult { tokens, order }
 }
 
-/// Lemma 3.1's traversal for a component with proper edges, writing the
-/// resulting cell order and per-kind ranks into the scratch buffers (the fast,
-/// allocation-reusing equivalent of [`build_ordering`]).
-fn build_ordering_fast(
+/// The start choices of a component with proper edges that survive the
+/// refined start filter: `(vertex, proper edge)` pairs whose vertex is in the
+/// component's minimal refinement colour class (among vertices with a proper
+/// incident edge) and whose edge realises the minimal
+/// `(edge colour, far-endpoint colour)` key over that class.
+///
+/// Both restrictions are isomorphism-invariant and the result is never empty,
+/// so the minimum over the surviving choices is itself canonical; it need not
+/// (and does not) coincide with the minimum over all Lemma 3.1 choices.
+fn admissible_choices(
+    inv: &TopologicalInvariant,
+    idx: &Indexes,
+    component: ComponentId,
+) -> Vec<(usize, usize)> {
+    let comp = &inv.components()[component];
+    let is_proper = |e: usize| matches!(inv.edge_endpoints(e), Some((a, b)) if a != b);
+    let min_colour = comp
+        .vertices
+        .iter()
+        .filter(|&&v| inv.vertex_slots(v).iter().any(|&(e, _)| is_proper(e)))
+        .map(|&v| idx.vertex_colour[v])
+        .min()
+        .expect("component with proper edges has a start vertex");
+    let mut choices: Vec<(u32, u32, usize, usize)> = Vec::new();
+    for &v in &comp.vertices {
+        if idx.vertex_colour[v] != min_colour {
+            continue;
+        }
+        for &(e, end) in inv.vertex_slots(v) {
+            // A proper edge has distinct endpoints, so it occupies exactly
+            // one slot at any vertex and each `(v, e)` choice appears once.
+            if !is_proper(e) {
+                continue;
+            }
+            let (a, b) = inv.edge_endpoints(e).unwrap();
+            let other = if end == 0 { b } else { a };
+            choices.push((idx.edge_colour[e], idx.vertex_colour[other], v, e));
+        }
+    }
+    let min_key = choices.iter().map(|&(ec, oc, _, _)| (ec, oc)).min().expect("choices nonempty");
+    choices.retain(|&(ec, oc, _, _)| (ec, oc) == min_key);
+    choices.into_iter().map(|(_, _, v, e)| (v, e)).collect()
+}
+
+/// Lemma 3.1's traversal for a component with proper edges, fused with the
+/// serialisation: tokens stream into the builder as the depth-first traversal
+/// grows the first-encounter ordering, and the first losing token aborts the
+/// candidate — traversal included. Returns `false` on abort; on success the
+/// scratch ranks and `order_buf` hold the candidate's first-encounter cell
+/// order (for [`CodeBuilder::finish_candidate`]). The caller must
+/// [`Scratch::reset_ranks`] afterwards either way.
+#[allow(clippy::too_many_arguments)]
+fn stream_candidate(
     inv: &TopologicalInvariant,
     idx: &Indexes,
     scratch: &mut Scratch,
@@ -646,15 +856,21 @@ fn build_ordering_fast(
     orientation: Orientation,
     start_vertex: usize,
     start_edge: usize,
-) {
-    let comp = &inv.components()[component];
+    parent_face: usize,
+    face_blob: &[Vec<u32>],
+    builder: &mut CodeBuilder,
+) -> bool {
     let is_proper = |e: usize| matches!(inv.edge_endpoints(e), Some((a, b)) if a != b);
     debug_assert!(scratch.order_buf.is_empty());
+    if !builder.emit(CTRL_STREAM) {
+        return false;
+    }
 
     // Depth-first traversal over proper edges, visiting the proper edges
     // around each vertex in rotation order starting from the vertex's
-    // associated edge. `vrank` doubles as the visited marker.
-    let mut vcount = 0u32;
+    // associated edge. `vrank` doubles as the visited marker; `erank` and
+    // `frank` are first-encounter ranks assigned while emitting.
+    let (mut vcount, mut ecount, mut fcount) = (0u32, 0u32, 0u32);
     scratch.stack.clear();
     scratch.stack.push((start_vertex, start_edge));
     while let Some((v, via_edge)) = scratch.stack.pop() {
@@ -663,9 +879,12 @@ fn build_ordering_fast(
         }
         scratch.vrank[v] = vcount;
         vcount += 1;
-        scratch.assoc[v] = via_edge;
         scratch.order_buf.push((CellKind::Vertex, v));
+        if !builder.emit(CTRL_VERTEX) || !builder.emit_slice(&idx.vertex_region_toks[v]) {
+            return false;
+        }
         let slots = inv.vertex_slots(v);
+        let sectors = inv.vertex_sector_faces(v);
         let degree = slots.len();
         let start = slots
             .iter()
@@ -675,72 +894,76 @@ fn build_ordering_fast(
         for k in 0..degree {
             let i = rotated_index(start, k, degree, orientation);
             let (e, end) = slots[i];
-            // A proper edge occupies exactly one slot per vertex, so each is
-            // considered once here; loops (the only twice-slotted edges) are
-            // filtered out.
-            if !is_proper(e) {
-                continue;
+            // The cone item for the slot: a first encounter assigns the
+            // edge's rank and inlines its region signature; later mentions
+            // emit the known rank alone.
+            if scratch.erank[e] == NO_RANK {
+                scratch.erank[e] = ecount;
+                ecount += 1;
+                scratch.order_buf.push((CellKind::Edge, e));
+                if !builder.emit(TAG_EDGE_RANK | scratch.erank[e])
+                    || !builder.emit_slice(&idx.edge_region_toks[e])
+                {
+                    return false;
+                }
+            } else if !builder.emit(TAG_EDGE_RANK | scratch.erank[e]) {
+                return false;
             }
-            let (a, b) = inv.edge_endpoints(e).unwrap();
-            let other = if end == 0 { b } else { a };
-            if scratch.vrank[other] == NO_RANK {
-                scratch.stack.push((other, e));
+            // The face sector following the slot in the chosen orientation:
+            // reading the cone clockwise, slot `i` is followed by the sector
+            // that counterclockwise-precedes it.
+            let si = match orientation {
+                Orientation::CounterClockwise => i,
+                Orientation::Clockwise => (i + degree - 1) % degree,
+            };
+            let f = sectors[si];
+            if f == parent_face {
+                if !builder.emit(CTRL_PARENT) {
+                    return false;
+                }
+            } else if scratch.frank[f] != NO_RANK {
+                if !builder.emit(TAG_FACE_RANK | scratch.frank[f]) {
+                    return false;
+                }
+            } else if inv.face_owner(f) == Some(component) {
+                // First encounter of an owned face: assign its rank and
+                // inline its region signature and embedded-children blob.
+                scratch.frank[f] = fcount;
+                fcount += 1;
+                scratch.order_buf.push((CellKind::Face, f));
+                if !builder.emit(TAG_FACE_RANK | scratch.frank[f])
+                    || !builder.emit_slice(&idx.face_region_toks[f])
+                    || !builder.emit(CTRL_CHILDREN_OPEN)
+                    || !builder.emit_slice(&face_blob[f])
+                    || !builder.emit(CTRL_CHILDREN_CLOSE)
+                {
+                    return false;
+                }
+            } else {
+                // A face owned by neither this component nor its parent
+                // cannot occur; defensively encode it opaquely.
+                if !builder.emit(CTRL_FOREIGN) {
+                    return false;
+                }
             }
+            // Queue the far endpoint of an unvisited proper edge; loops (the
+            // only twice-slotted edges) never lead anywhere new.
+            if is_proper(e) {
+                let (a, b) = inv.edge_endpoints(e).unwrap();
+                let other = if end == 0 { b } else { a };
+                if scratch.vrank[other] == NO_RANK {
+                    scratch.stack.push((other, e));
+                }
+            }
+        }
+        if !builder.emit(CTRL_CLOSE) {
+            return false;
         }
         // The paper's recursion inserts each sub-order right after its parent
         // vertex; reversing the freshly pushed children reproduces that.
         scratch.stack[unvisited_from..].reverse();
     }
-
-    // Edge order: lexicographic on endpoint ranks, ties broken by rotation
-    // position around the smaller-ranked endpoint starting from its
-    // associated edge.
-    scratch.edge_keys.clear();
-    for &e in &comp.edges {
-        let (a, b) =
-            inv.edge_endpoints(e).expect("component with proper edges has no closed curves");
-        let (ra, rb) = (scratch.vrank[a], scratch.vrank[b]);
-        let (lo, hi) = (ra.min(rb), ra.max(rb));
-        let anchor = if ra <= rb { a } else { b };
-        let slots = inv.vertex_slots(anchor);
-        let degree = slots.len();
-        let anchor_assoc = scratch.assoc[anchor];
-        let start = slots
-            .iter()
-            .position(|&(edge, _)| edge == anchor_assoc)
-            .expect("associated edge incident to anchor");
-        let mut position = degree as u32;
-        for k in 0..degree {
-            let i = rotated_index(start, k, degree, orientation);
-            if slots[i].0 == e {
-                position = k as u32;
-                break;
-            }
-        }
-        scratch.edge_keys.push((lo, hi, position, e));
-    }
-    scratch.edge_keys.sort_unstable();
-    for (rank, &(_, _, _, e)) in scratch.edge_keys.iter().enumerate() {
-        scratch.erank[e] = rank as u32;
-        scratch.order_buf.push((CellKind::Edge, e));
-    }
-
-    // Faces owned by the component, ordered by the sorted list of ranks of
-    // their incident component edges (no two such faces share that list).
-    scratch.face_rank_buf.clear();
-    scratch.face_spans.clear();
-    for &f in &idx.owned_faces[component] {
-        scratch.push_face_key(f, idx);
-    }
-    let (face_rank_buf, face_spans) = (&scratch.face_rank_buf, &mut scratch.face_spans);
-    let key = |&(start, len, face): &(u32, u32, usize)| {
-        (&face_rank_buf[start as usize..(start + len) as usize], face)
-    };
-    face_spans.sort_by(|a, b| key(a).cmp(&key(b)));
-    for (rank, &(_, _, f)) in scratch.face_spans.iter().enumerate() {
-        scratch.frank[f] = rank as u32;
-        scratch.order_buf.push((CellKind::Face, f));
-    }
+    true
 }
 
 /// Serialises the current candidate ordering (ranks + `order_buf` in
@@ -1467,6 +1690,105 @@ mod tests {
                     "partition diverged between instances {i} and {j}"
                 );
             }
+        }
+    }
+
+    /// Degenerate-instance hardening: empty instances, point-only and
+    /// polyline-only regions, and single-cell components must canonicalise
+    /// (and enumerate their reference orderings) without panicking or tripping
+    /// debug assertions, under both orientations.
+    mod degenerate {
+        use super::*;
+
+        fn assert_canonicalises(label: &str, instance: &SpatialInstance) {
+            let invariant = top(instance);
+            let form = canonical_form(&invariant);
+            assert_eq!(form.order.len(), invariant.cell_count(), "{label}: order covers cells");
+            assert!(!form.code.is_empty(), "{label}: even empty instances serialise the exterior");
+            for c in 0..invariant.components().len() {
+                for orientation in [Orientation::CounterClockwise, Orientation::Clockwise] {
+                    let orderings = component_orderings(&invariant, c, orientation);
+                    assert!(!orderings.is_empty(), "{label}: component {c} has an ordering");
+                }
+            }
+            // A fresh copy of the same instance lands in the same class.
+            assert!(top(instance).is_isomorphic_to(&invariant), "{label}: self-equivalent");
+        }
+
+        #[test]
+        fn empty_schema_instance() {
+            let names: [&str; 0] = [];
+            assert_canonicalises("empty schema", &SpatialInstance::new(Schema::from_names(names)));
+        }
+
+        #[test]
+        fn empty_region_instance() {
+            assert_canonicalises("empty region", &SpatialInstance::new(Schema::from_names(["P"])));
+        }
+
+        #[test]
+        fn point_only_regions() {
+            let mut single = SpatialInstance::new(Schema::from_names(["P"]));
+            single.set_region(0, Region::point_set(vec![p(5, 5)]));
+            assert_canonicalises("single point", &single);
+
+            let mut several = SpatialInstance::new(Schema::from_names(["P"]));
+            several.set_region(0, Region::point_set(vec![p(0, 0), p(10, 0), p(0, 10)]));
+            assert_canonicalises("three points", &several);
+
+            // Duplicate points collapse to one cell.
+            let mut duplicated = SpatialInstance::new(Schema::from_names(["P"]));
+            duplicated.set_region(0, Region::point_set(vec![p(1, 1), p(1, 1)]));
+            let invariant = top(&duplicated);
+            assert_eq!(invariant.cell_count(), 2);
+            assert!(top(&single).is_isomorphic_to(&invariant));
+        }
+
+        #[test]
+        fn polyline_only_regions() {
+            let mut segment = SpatialInstance::new(Schema::from_names(["P"]));
+            segment.set_region(0, Region::polyline(vec![p(0, 0), p(10, 0)]));
+            assert_canonicalises("single segment", &segment);
+
+            let mut open = SpatialInstance::new(Schema::from_names(["P"]));
+            open.set_region(0, Region::polyline(vec![p(0, 0), p(10, 0), p(10, 10), p(20, 10)]));
+            assert_canonicalises("open polyline", &open);
+            // An open polyline reduces to a single arc: same class as a segment.
+            assert!(top(&open).is_isomorphic_to(&top(&segment)));
+
+            let mut closed = SpatialInstance::new(Schema::from_names(["P"]));
+            closed.set_region(0, Region::polyline(vec![p(0, 0), p(10, 0), p(10, 10), p(0, 0)]));
+            assert_canonicalises("closed polyline", &closed);
+
+            let mut retraced = SpatialInstance::new(Schema::from_names(["P"]));
+            retraced.set_region(0, Region::polyline(vec![p(0, 0), p(10, 0), p(0, 0)]));
+            assert_canonicalises("retraced polyline", &retraced);
+        }
+
+        #[test]
+        fn single_cell_components() {
+            // Isolated vertex, vertex-free closed curve and open arc: one
+            // component each, every Lemma 3.1 special case in isolation.
+            let mut mixed = SpatialInstance::new(Schema::from_names(["P", "Q", "L"]));
+            mixed.set_region(0, Region::point_set(vec![p(200, 200)]));
+            mixed.set_region(1, Region::rectangle(0, 0, 50, 50));
+            mixed.set_region(2, Region::polyline(vec![p(100, 0), p(150, 0)]));
+            assert_canonicalises("mixed degenerate components", &mixed);
+            let invariant = top(&mixed);
+            assert_eq!(invariant.components().len(), 3);
+            let stats = sweep_stats(&invariant);
+            assert_eq!(stats.components, 3);
+        }
+
+        #[test]
+        fn point_inside_ring_hole() {
+            // An isolated vertex nested two levels deep in the component tree.
+            let mut annulus = Region::rectangle(0, 0, 30, 30);
+            annulus.add_ring(vec![p(10, 10), p(20, 10), p(20, 20), p(10, 20)]);
+            let mut instance = SpatialInstance::new(Schema::from_names(["P", "D"]));
+            instance.set_region(0, annulus);
+            instance.set_region(1, Region::point_set(vec![p(15, 15)]));
+            assert_canonicalises("point inside ring hole", &instance);
         }
     }
 

@@ -256,6 +256,34 @@ mod tests {
         assert!(top(&rebuilt).is_isomorphic_to(&invariant));
     }
 
+    /// Degenerate-instance hardening: inversion (and its verified variant)
+    /// must handle empty instances, point-only and polyline-only regions, and
+    /// single-cell components without panicking.
+    #[test]
+    fn degenerate_instances_invert_cleanly() {
+        let names: [&str; 0] = [];
+        let empty_schema = SpatialInstance::new(Schema::from_names(names));
+        let mut cases: Vec<(&str, SpatialInstance)> = vec![
+            ("empty schema", empty_schema),
+            ("empty region", SpatialInstance::new(Schema::from_names(["P"]))),
+        ];
+        let mut point_only = SpatialInstance::new(Schema::from_names(["P"]));
+        point_only.set_region(0, Region::point_set(vec![p(0, 0), p(10, 0)]));
+        cases.push(("point-only", point_only));
+        let mut polyline_only = SpatialInstance::new(Schema::from_names(["P"]));
+        polyline_only.set_region(0, Region::polyline(vec![p(0, 0), p(10, 0), p(10, 10)]));
+        cases.push(("polyline-only", polyline_only));
+        let mut single_curve = SpatialInstance::new(Schema::from_names(["P"]));
+        single_curve.set_region(0, Region::polyline(vec![p(0, 0), p(10, 0), p(5, 10), p(0, 0)]));
+        cases.push(("single closed curve", single_curve));
+        for (label, instance) in cases {
+            let invariant = top(&instance);
+            let rebuilt = invert_verified(&invariant)
+                .unwrap_or_else(|e| panic!("{label}: inversion failed: {e}"));
+            assert!(top(&rebuilt).is_isomorphic_to(&invariant), "{label}: round-trip");
+        }
+    }
+
     #[test]
     fn unsupported_component_is_reported() {
         // Two overlapping squares of different regions produce boundary

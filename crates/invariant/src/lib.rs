@@ -40,7 +40,8 @@ pub mod stats;
 #[cfg(any(feature = "naive-reference", test))]
 pub use canonical::naive::canonical_code_naive;
 pub use canonical::{
-    canonical_code, canonical_form, component_orderings, CanonicalCode, CanonicalForm, CodeHash,
+    canonical_code, canonical_form, component_orderings, sweep_stats, CanonicalCode, CanonicalForm,
+    CodeHash, SweepStats,
 };
 pub use complex::{CellId, Complex, RegionSet};
 pub use construct::build_complex;

@@ -127,6 +127,131 @@ fn canonical_cell_order_realises_the_code() {
     }
 }
 
+/// `ign_city`-style giant single-skeleton-component invariants at the
+/// hundreds-of-cells scale: the lazy streamed Lemma 3.1 sweep and the frozen
+/// PR 2 oracle must induce the same isomorphism-class partition, and
+/// topologically equivalent copies must realise byte-identical winning codes
+/// (rotation and reflection also swap the roles of the two orientations, so
+/// this exercises the orientation minimum).
+#[test]
+fn large_single_component_partition_matches_naive() {
+    use topo_core::spatial::transform::AffineMap;
+    let base = ign_city(Scale { grid: 4 }, 7);
+    let invariants = vec![
+        top(&base),
+        top(&ign_city(Scale { grid: 4 }, 13)),
+        top(&ign_city(Scale { grid: 5 }, 7)),
+        top(&AffineMap::rotation90().apply_instance(&base)),
+        top(&AffineMap::reflection_x().apply_instance(&base)),
+    ];
+    let giant = topo_core::sweep_stats(&invariants[0]).giant_skeleton_cells;
+    assert!(giant >= 150, "expected a giant component, got {giant} skeleton cells");
+    assert_same_partition(&invariants, "large single-component cities");
+    // The transformed copies are not merely in the same class: they realise
+    // the same winning code, token for token.
+    assert_eq!(invariants[0].canonical_code(), invariants[3].canonical_code());
+    assert_eq!(invariants[0].canonical_code(), invariants[4].canonical_code());
+}
+
+/// At a scale where the reference oracle is intractable, the lazy sweep must
+/// still put every transformed copy of a giant-component city into the same
+/// class with an identical code (self-consistency of the streamed format and
+/// the refined start filter across cell renumberings and orientation swaps).
+#[test]
+fn giant_component_transforms_realise_identical_codes() {
+    use topo_core::spatial::transform::AffineMap;
+    let base = ign_city(Scale { grid: 8 }, 7);
+    let reference = top(&base);
+    assert!(topo_core::sweep_stats(&reference).giant_skeleton_cells >= 500);
+    for map in
+        [AffineMap::translation(999, -41), AffineMap::rotation90(), AffineMap::reflection_x()]
+    {
+        let copy = top(&map.apply_instance(&base));
+        assert!(reference.is_isomorphic_to(&copy));
+        assert_eq!(reference.canonical_code(), copy.canonical_code());
+        assert_eq!(reference.code_hash(), copy.code_hash());
+    }
+}
+
+/// A random street-grid instance: `h` horizontal and `v` vertical full-width
+/// streets (one region), an optional overlapping district rectangle (second
+/// region) and a few antenna stubs — a single giant skeleton component in the
+/// spirit of `ign_city`, at a scale where the reference oracle is still
+/// tractable.
+fn street_grid() -> impl Strategy<Value = SpatialInstance> {
+    (3usize..6, 3usize..6, 0u8..255, 0usize..3).prop_map(|(h, v, antennas, district)| {
+        let step = 100i64;
+        let mut streets = Region::new();
+        let width = (v as i64 - 1) * step;
+        let height = (h as i64 - 1) * step;
+        for i in 0..h as i64 {
+            streets.add_polyline(vec![
+                Point::from_ints(0, i * step),
+                Point::from_ints(width.max(step), i * step),
+            ]);
+        }
+        for j in 0..v as i64 {
+            streets.add_polyline(vec![
+                Point::from_ints(j * step, 0),
+                Point::from_ints(j * step, height.max(step)),
+            ]);
+        }
+        // Antenna stubs off the west border, one per set bit, at distinct
+        // crossings: they create degree-3 boundary vertices that the colour
+        // refinement must keep apart from the rest.
+        for i in 0..h.min(8) {
+            if antennas & (1 << i) != 0 {
+                streets.add_polyline(vec![
+                    Point::from_ints(0, i as i64 * step),
+                    Point::from_ints(-60, i as i64 * step - 40),
+                ]);
+            }
+        }
+        let mut b = Region::new();
+        if district > 0 {
+            let d = district as i64;
+            b.add_ring(vec![
+                Point::from_ints(50, 50),
+                Point::from_ints(50 + d * step, 50),
+                Point::from_ints(50 + d * step, 50 + d * step),
+                Point::from_ints(50, 50 + d * step),
+            ]);
+        }
+        SpatialInstance::from_regions([("R", streets), ("B", b)])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random giant-single-component street grids: the lazy sweep and the
+    /// reference oracle partition identically, and a translated copy realises
+    /// the identical winning code.
+    #[test]
+    fn street_grids_partition_identically(
+        first in street_grid(),
+        second in street_grid(),
+        dx in -400i64..400,
+        dy in -400i64..400,
+    ) {
+        let moved = topo_core::spatial::transform::AffineMap::translation(dx, dy)
+            .apply_instance(&first);
+        let invariants = [top(&first), top(&second), top(&moved)];
+        let naive: Vec<String> = invariants.iter().map(canonical_code_naive).collect();
+        for i in 0..invariants.len() {
+            for j in i..invariants.len() {
+                prop_assert_eq!(
+                    invariants[i].canonical_code() == invariants[j].canonical_code(),
+                    naive[i] == naive[j],
+                    "partition diverged between {} and {}", i, j
+                );
+            }
+        }
+        prop_assert!(invariants[0].is_isomorphic_to(&invariants[2]));
+        prop_assert_eq!(invariants[0].canonical_code(), invariants[2].canonical_code());
+    }
+}
+
 /// A small random instance of rectangles and isolated points (same shape as
 /// the structural property tests, including crossing and nested boundaries).
 fn small_instance() -> impl Strategy<Value = SpatialInstance> {
