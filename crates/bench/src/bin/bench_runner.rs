@@ -1,16 +1,19 @@
 //! Machine-readable perf baseline runner.
 //!
 //! Measures the `geometry → arrangement → invariant` construction path stage
-//! by stage *and* the canonicalisation stage (`canonical_code`, cached
-//! re-reads, cached isomorphism checks, plus the giant-component sweep
-//! statistics behind the lazy Lemma 3.1 serialisation) on the seeded
-//! cartographic workloads, at three datagen scales, against the frozen
-//! pre-optimisation reference paths (`topo_core::top_naive`,
-//! `topo_core::canonical_code_naive`), and writes the medians to a JSON file
-//! so every perf PR has a recorded trajectory to beat. `BENCH_4.json` at the
-//! repository root is the committed baseline (`BENCH_3.json` is the PR 3
-//! record, `BENCH_2.json` the PR 2 construction-only one); see DESIGN.md,
-//! "Performance" and "Canonicalisation".
+//! by stage, the canonicalisation stage (`canonical_code`, cached re-reads,
+//! cached isomorphism checks, plus the giant-component sweep statistics
+//! behind the lazy Lemma 3.1 serialisation) *and* the datalog
+//! query-evaluation stage (the `topo_queries::programs` fixpoint programs on
+//! invariant exports, delta-driven engine vs the frozen naive engine) on the
+//! seeded cartographic workloads, each at three datagen scales, against the
+//! frozen pre-optimisation reference paths (`topo_core::top_naive`,
+//! `topo_core::canonical_code_naive`, `datalog::naive`), and writes the
+//! medians to a JSON file so every perf PR has a recorded trajectory to
+//! beat. `BENCH_5.json` at the repository root is the committed baseline
+//! (`BENCH_4.json`/`BENCH_3.json`/`BENCH_2.json` record the earlier
+//! trajectory; BENCHMARKS.md tabulates it); see DESIGN.md, "Performance",
+//! "Canonicalisation" and "Datalog engine".
 //!
 //! ```text
 //! bench_runner [--quick] [--out PATH]
@@ -29,18 +32,31 @@
 //! ```
 
 use topo_bench::{median_ns, median_ns_with};
-use topo_core::{SpatialInstance, TopologicalInvariant};
+use topo_core::relational::datalog::naive as datalog_naive;
+use topo_core::{
+    datalog_program, Semantics, SpatialInstance, TopologicalInvariant, TopologicalQuery,
+};
 use topo_datagen::{ign_city, sequoia_hydro, sequoia_landcover, Scale};
 
 const FULL_SAMPLES: usize = 15;
 const QUICK_SAMPLES: usize = 5;
 const GRIDS: [usize; 3] = [8, 16, 28];
+/// Scales for the datalog query-evaluation stage: the naive engine's
+/// connectivity cost grows with `|region cells|² × |adjacency|`, so its
+/// tractable range ends far below the construction scales (a city grid-5
+/// naive run takes over two minutes).
+const DATALOG_GRIDS: [usize; 3] = [3, 5, 8];
 const SEED: u64 = 7;
 /// The reference canonicalisation is super-quadratic; above this cell count a
 /// single sample would take tens of minutes, so it is recorded as `null`.
 const NAIVE_CANONICAL_CELL_LIMIT: usize = 3000;
 /// Inner repetitions when timing the (sub-microsecond) cached paths.
 const CACHED_REPS: u32 = 1024;
+/// Once a workload's naive datalog median exceeds this budget, larger scales
+/// of that workload record the reference engine as `null` instead of
+/// spending minutes per sample on it.
+const NAIVE_DATALOG_BUDGET_NS: u128 = 1_500_000_000;
+const NAIVE_DATALOG_BUDGET_QUICK_NS: u128 = 400_000_000;
 
 struct ScaleReport {
     grid: usize,
@@ -218,6 +234,99 @@ fn measure_scale(
     }
 }
 
+/// One program of the datalog stage at one scale.
+struct DatalogProgramReport {
+    name: &'static str,
+    semi_ns: u128,
+    naive_ns: Option<u128>,
+    semi_samples: usize,
+    naive_samples: Option<usize>,
+}
+
+impl DatalogProgramReport {
+    fn speedup(&self) -> Option<f64> {
+        self.naive_ns.map(|n| n as f64 / self.semi_ns as f64)
+    }
+}
+
+/// The datalog query-evaluation stage at one scale of one workload.
+struct DatalogScaleReport {
+    grid: usize,
+    cells: usize,
+    programs: Vec<DatalogProgramReport>,
+}
+
+/// Measures the `topo_queries::programs` fixpoint programs (stratified — the
+/// mode the query library evaluates under) on the invariant export of each
+/// scale: the delta-driven engine against the frozen `datalog::naive`
+/// oracle. The reference engine stops being measured for a workload once a
+/// median exceeds the time budget (its connectivity evaluation re-scans
+/// `Reach × Adj` per round, which passes minutes per run on the city
+/// workload's street-network regions); the budget-crossing scale itself is
+/// still recorded.
+fn measure_datalog(
+    gen: &dyn Fn(usize) -> SpatialInstance,
+    samples: usize,
+    quick: bool,
+) -> Vec<DatalogScaleReport> {
+    let budget = if quick { NAIVE_DATALOG_BUDGET_QUICK_NS } else { NAIVE_DATALOG_BUDGET_NS };
+    let queries: [(&'static str, TopologicalQuery); 2] = [
+        ("is_connected", TopologicalQuery::IsConnected(0)),
+        ("has_hole", TopologicalQuery::HasHole(0)),
+    ];
+    let mut over_budget = [false; 2];
+    let mut out = Vec::new();
+    for &grid in &DATALOG_GRIDS {
+        let instance = gen(grid);
+        let invariant = topo_core::top(&instance);
+        let structure = invariant.to_structure();
+        let mut programs = Vec::new();
+        for (p, (name, query)) in queries.iter().enumerate() {
+            let program = datalog_program(query, instance.schema()).expect("program available");
+            let semi_ns =
+                median_ns(samples, || program.run(&structure, Semantics::Stratified, usize::MAX));
+            let (naive_ns, naive_samples) = if over_budget[p] {
+                (None, None)
+            } else {
+                // One probe run decides how many samples the reference can
+                // afford; slow probes stand alone as a 1-sample median.
+                let probe = median_ns(1, || {
+                    datalog_naive::run(&program, &structure, Semantics::Stratified, usize::MAX)
+                });
+                let (ns, used) = if probe <= 100_000_000 {
+                    let extra = samples.min(3);
+                    (
+                        median_ns(extra, || {
+                            datalog_naive::run(
+                                &program,
+                                &structure,
+                                Semantics::Stratified,
+                                usize::MAX,
+                            )
+                        }),
+                        extra,
+                    )
+                } else {
+                    (probe, 1)
+                };
+                if ns > budget {
+                    over_budget[p] = true;
+                }
+                (Some(ns), Some(used))
+            };
+            programs.push(DatalogProgramReport {
+                name,
+                semi_ns,
+                naive_ns,
+                semi_samples: samples,
+                naive_samples,
+            });
+        }
+        out.push(DatalogScaleReport { grid, cells: invariant.cell_count(), programs });
+    }
+    out
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -226,7 +335,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     // Quick mode never overwrites the committed 15-sample baseline unless
-    // the caller passes `--out BENCH_3.json` explicitly.
+    // the caller passes `--out BENCH_5.json` explicitly.
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -236,7 +345,7 @@ fn main() {
             if quick {
                 "BENCH_quick.json".to_string()
             } else {
-                "BENCH_4.json".to_string()
+                "BENCH_5.json".to_string()
             }
         });
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -254,16 +363,18 @@ fn main() {
 
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"id\": \"BENCH_4\",\n");
+    out.push_str("  \"id\": \"BENCH_5\",\n");
     out.push_str(
-        "  \"description\": \"top(I) construction and canonicalisation: per-stage medians \
-         and speedups vs the frozen reference paths (naive seed arrangement + slow-mode \
-         rational arithmetic; PR 2 String canonical codes). canonical.first is a cold \
-         canonical_code() on a fresh invariant (the lazy streamed Lemma 3.1 sweep); \
-         cached/iso are per-call costs on warmed invariants; giant_component records the \
-         largest skeleton component and its start-choice pruning; samples objects record \
-         the sample counts actually used per median; naive_canonical is null where the \
-         reference path is intractable\",\n",
+        "  \"description\": \"top(I) construction, canonicalisation and datalog query \
+         evaluation: per-stage medians and speedups vs the frozen reference paths (naive \
+         seed arrangement + slow-mode rational arithmetic; PR 2 String canonical codes; \
+         pre-PR 5 naive datalog evaluator). canonical.first is a cold canonical_code() on \
+         a fresh invariant (the lazy streamed Lemma 3.1 sweep); cached/iso are per-call \
+         costs on warmed invariants; giant_component records the largest skeleton \
+         component and its start-choice pruning; the datalog section runs the query \
+         library's fixpoint programs (stratified) on invariant exports, semi-naive vs \
+         datalog::naive; samples objects record the sample counts actually used per \
+         median; naive medians are null where the reference path is intractable\",\n",
     );
     out.push_str(&format!("  \"mode\": \"{}\",\n", if quick { "quick" } else { "full" }));
     out.push_str(&format!("  \"samples\": {samples},\n"));
@@ -357,7 +468,63 @@ fn main() {
         out.push_str("      ]\n");
         out.push_str(if w + 1 < workloads.len() { "    },\n" } else { "    }\n" });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+
+    // The datalog query-evaluation stage, at its own (smaller) scales.
+    out.push_str("  \"datalog\": {\n");
+    out.push_str("    \"semantics\": \"stratified\",\n");
+    out.push_str(&format!(
+        "    \"grids\": [{}],\n",
+        DATALOG_GRIDS.map(|g| g.to_string()).join(", ")
+    ));
+    out.push_str("    \"workloads\": [\n");
+    // Per-workload reports, kept for the end-of-run summary that CI greps
+    // out of the log.
+    let mut datalog_reports: Vec<(&str, Vec<DatalogScaleReport>)> = Vec::new();
+    for (w, (name, gen)) in workloads.iter().enumerate() {
+        eprintln!("== {name} (datalog) ==");
+        let scales = measure_datalog(gen, samples, quick);
+        out.push_str("      {\n");
+        out.push_str(&format!("        \"name\": \"{}\",\n", json_escape(name)));
+        out.push_str("        \"scales\": [\n");
+        for (g, scale) in scales.iter().enumerate() {
+            out.push_str("          {\n");
+            out.push_str(&format!("            \"grid\": {},\n", scale.grid));
+            out.push_str(&format!("            \"cells\": {},\n", scale.cells));
+            out.push_str("            \"programs\": {");
+            for (p, program) in scale.programs.iter().enumerate() {
+                if p > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "\"{}\": {{\"semi_ns\": {}, \"naive_ns\": {}, \"speedup\": {}, \
+                     \"samples_used\": {{\"semi\": {}, \"naive\": {}}}}}",
+                    program.name,
+                    program.semi_ns,
+                    program.naive_ns.map_or("null".to_string(), |n| n.to_string()),
+                    program.speedup().map_or("null".to_string(), |s| format!("{s:.2}")),
+                    program.semi_samples,
+                    program.naive_samples.map_or("null".to_string(), |n| n.to_string()),
+                ));
+                eprintln!(
+                    "  grid {:>2}: cells {:>5} {:<13} semi {:>12} ns  naive {:>14}  speedup {}",
+                    scale.grid,
+                    scale.cells,
+                    program.name,
+                    program.semi_ns,
+                    program.naive_ns.map_or("(skipped)".to_string(), |n| format!("{n} ns")),
+                    program.speedup().map_or("n/a".to_string(), |s| format!("{s:.1}x")),
+                );
+            }
+            out.push_str("}\n");
+            out.push_str(if g + 1 < scales.len() { "          },\n" } else { "          }\n" });
+        }
+        out.push_str("        ]\n");
+        out.push_str(if w + 1 < workloads.len() { "      },\n" } else { "      }\n" });
+        datalog_reports.push((name, scales));
+    }
+    out.push_str("    ]\n");
+    out.push_str("  }\n}\n");
 
     std::fs::write(&out_path, &out).expect("write benchmark baseline");
     eprintln!("wrote {out_path}");
@@ -375,5 +542,25 @@ fn main() {
             giant.giant_surviving_choices,
             first_ns,
         );
+    }
+
+    // Same for the datalog query-evaluation stage: one line per
+    // workload/scale/program, semi-naive vs the frozen reference engine.
+    eprintln!("== datalog stage per workload ==");
+    for (name, scales) in &datalog_reports {
+        for scale in scales {
+            for program in &scale.programs {
+                eprintln!(
+                    "  {name:<20} grid {:>2}  cells {:>6}  {:<13} semi {:>12} ns  \
+                     naive {:>14}  speedup {}",
+                    scale.grid,
+                    scale.cells,
+                    program.name,
+                    program.semi_ns,
+                    program.naive_ns.map_or("(skipped)".to_string(), |n| format!("{n} ns")),
+                    program.speedup().map_or("n/a".to_string(), |s| format!("{s:.1}x")),
+                );
+            }
+        }
     }
 }

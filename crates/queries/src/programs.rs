@@ -5,6 +5,12 @@
 //! are the concrete counterpart of the paper's Section 3: first-order queries
 //! need no recursion, connectivity needs fixpoint, and parity of a set of
 //! components needs counting on top of fixpoint.
+//!
+//! The programs run unchanged on the delta-driven engine behind
+//! [`Program::run`]: connectivity's `Reach` recursion is exactly the shape
+//! the semi-naive rewrite accelerates (each round joins only the newly
+//! reached cells against the adjacency relation instead of re-scanning all
+//! of `Reach`; see DESIGN.md, "Datalog engine").
 
 use crate::library::TopologicalQuery;
 use topo_relational::{Formula, Literal, Program, Rule, Term};
@@ -40,6 +46,23 @@ fn adjacency_rules() -> Vec<Rule> {
 /// The Datalog¬ (fixpoint) program answering a query of the library on the
 /// exported invariant, when one is provided. Programs are evaluated with
 /// stratified semantics (which inflationary fixpoint subsumes).
+///
+/// ```
+/// use topo_queries::{datalog_program, TopologicalQuery};
+/// use topo_relational::Semantics;
+/// use topo_spatial::{Region, SpatialInstance};
+///
+/// // Two nested rectangles: is the outer region connected?
+/// let instance = SpatialInstance::from_regions([
+///     ("park", Region::rectangle(0, 0, 100, 100)),
+///     ("lake", Region::rectangle(30, 30, 70, 70)),
+/// ]);
+/// let program =
+///     datalog_program(&TopologicalQuery::IsConnected(0), instance.schema()).unwrap();
+/// let structure = topo_invariant::top(&instance).to_structure();
+/// let result = program.run(&structure, Semantics::Stratified, usize::MAX).unwrap();
+/// assert!(!result.relation("Answer").unwrap().is_empty());
+/// ```
 pub fn datalog_program(query: &TopologicalQuery, schema: &Schema) -> Option<Program> {
     match *query {
         TopologicalQuery::Intersects(a, b) => {
@@ -141,6 +164,19 @@ pub fn datalog_program(query: &TopologicalQuery, schema: &Schema) -> Option<Prog
 /// counting the closed curves counts the components; the parity test then
 /// uses the numeric `Even` relation of the auxiliary ordered domain — this is
 /// the paper's separating example between fixpoint and fixpoint+counting.
+///
+/// ```
+/// use topo_queries::programs::even_closed_curves_program;
+/// use topo_relational::Semantics;
+///
+/// let instance = topo_datagen::scattered_islands(4);
+/// let mut structure = topo_invariant::top(&instance).to_structure();
+/// structure.add_numeric_relations(); // the domain the count lands in
+/// let program = even_closed_curves_program(instance.schema(), 0);
+/// let result = program.run(&structure, Semantics::Stratified, usize::MAX).unwrap();
+/// // 4 islands: the component count is even.
+/// assert!(!result.relation("Answer").unwrap().is_empty());
+/// ```
 pub fn even_closed_curves_program(schema: &Schema, region: usize) -> Program {
     let ra = region_relation(schema, region);
     Program::new("Answer")
@@ -169,6 +205,19 @@ pub fn even_closed_curves_program(schema: &Schema, region: usize) -> Program {
 /// The paper's Section 4 example `(**)`: the first-order sentence over the
 /// invariant expressing "regions P and Q intersect only on their boundaries"
 /// for two-dimensional regions — every common cell is a vertex or an edge.
+///
+/// ```
+/// use topo_queries::programs::boundary_only_fo_sentence;
+/// use topo_spatial::{Region, SpatialInstance};
+///
+/// // P and Q share exactly one boundary edge.
+/// let instance = SpatialInstance::from_regions([
+///     ("P", Region::rectangle(0, 0, 100, 100)),
+///     ("Q", Region::rectangle(100, 0, 200, 100)),
+/// ]);
+/// let sentence = boundary_only_fo_sentence(instance.schema(), 0, 1);
+/// assert!(sentence.holds(&topo_invariant::top(&instance).to_structure()));
+/// ```
 pub fn boundary_only_fo_sentence(schema: &Schema, a: usize, b: usize) -> Formula {
     let ra = region_relation(schema, a);
     let rb = region_relation(schema, b);

@@ -14,16 +14,70 @@
 //!   recomputing the derived relations from scratch at every step instead of
 //!   accumulating them.
 //!
-//! The evaluator is a straightforward naive-iteration engine: rules are
-//! evaluated against a snapshot of the current structure, new facts are added
-//! (inflationary) or replace the previous derived relations (partial), and
-//! iteration continues until a fixpoint. Rules must be *range-restricted*:
-//! every variable of the head, of a negative literal, of a comparison, or of a
-//! count result must be bound by an earlier positive literal in the body.
+//! Rules must be *range-restricted*: every variable of the head, of a
+//! negative literal, of a comparison, or of a count result must be bound by
+//! an earlier positive literal in the body.
+//!
+//! # Evaluation
+//!
+//! All three modes share one round semantics: every rule fires
+//! simultaneously against the frozen pre-round state, and the derived head
+//! tuples are either accumulated (inflationary, stratified) or become the
+//! next state outright (partial fixpoint). The engine behind [`Program::run`]
+//! is *delta-driven* (semi-naive): after the first round, a rule with `k`
+//! positive literals over relations being derived evaluates as `k` variants,
+//! each binding one such literal to the facts new since the previous round,
+//! the earlier ones to the state before those facts and the later ones to
+//! the full pre-round state — so a round's cost scales with what changed,
+//! not with the accumulated state. Joins run over per-relation hash indexes
+//! keyed by each literal's bound positions and extended incrementally from
+//! the deltas. Negative and counting literals always read the full frozen
+//! pre-round state, which keeps all three semantics bit-for-bit identical to
+//! the naive engine (frozen as `datalog::naive` behind the `naive-reference`
+//! feature, and proven equivalent by `tests/datalog_equivalence.rs`). The
+//! delta rewrite and its interaction with negation and counting are
+//! documented in DESIGN.md, section "Datalog engine".
+//!
+//! # Example
+//!
+//! Transitive closure of a two-edge path, with a negated "is a source"
+//! check — a two-rule fixpoint program:
+//!
+//! ```
+//! use topo_relational::{Literal, Program, Rule, Semantics, Structure, Term};
+//!
+//! let mut graph = Structure::new(3);
+//! graph.insert("E", &[0, 1]);
+//! graph.insert("E", &[1, 2]);
+//!
+//! let v = Term::Var;
+//! let program = Program::new("T")
+//!     .rule(Rule::new(
+//!         "T",
+//!         vec![v(0), v(1)],
+//!         vec![Literal::Pos { relation: "E".into(), terms: vec![v(0), v(1)] }],
+//!     ))
+//!     .rule(Rule::new(
+//!         "T",
+//!         vec![v(0), v(2)],
+//!         vec![
+//!             Literal::Pos { relation: "T".into(), terms: vec![v(0), v(1)] },
+//!             Literal::Pos { relation: "E".into(), terms: vec![v(1), v(2)] },
+//!         ],
+//!     ));
+//!
+//! let result = program.run(&graph, Semantics::Inflationary, usize::MAX).unwrap();
+//! assert!(result.contains("T", &[0, 2])); // reachable in two steps
+//! assert_eq!(result.relation("T").unwrap().len(), 3);
+//! ```
 
 use crate::fo::Term;
 use crate::structure::Structure;
 use std::collections::{HashMap, HashSet};
+
+mod eval;
+#[cfg(feature = "naive-reference")]
+pub mod naive;
 
 /// A body literal of a Datalog rule.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -142,6 +196,34 @@ impl Program {
     /// Runs the program on `input` and returns the resulting structure
     /// (input relations plus derived relations). Returns `None` only in
     /// partial-fixpoint mode when no fixpoint is reached within `max_steps`.
+    ///
+    /// ```
+    /// use topo_relational::{Literal, Program, Rule, Semantics, Structure, Term};
+    ///
+    /// let mut s = Structure::new(2);
+    /// s.insert("Node", &[0]);
+    /// s.insert("Node", &[1]);
+    /// s.insert("E", &[0, 1]);
+    /// // Sink(x) ← Node(x), ¬HasOut(x);  HasOut(x) ← E(x, y).
+    /// let v = Term::Var;
+    /// let program = Program::new("Sink")
+    ///     .rule(Rule::new(
+    ///         "HasOut",
+    ///         vec![v(0)],
+    ///         vec![Literal::Pos { relation: "E".into(), terms: vec![v(0), v(1)] }],
+    ///     ))
+    ///     .rule(Rule::new(
+    ///         "Sink",
+    ///         vec![v(0)],
+    ///         vec![
+    ///             Literal::Pos { relation: "Node".into(), terms: vec![v(0)] },
+    ///             Literal::Neg { relation: "HasOut".into(), terms: vec![v(0)] },
+    ///         ],
+    ///     ));
+    /// // Stratified semantics completes HasOut before negating it.
+    /// let result = program.run(&s, Semantics::Stratified, usize::MAX).unwrap();
+    /// assert_eq!(result.relation("Sink").unwrap().sorted_tuples(), vec![vec![1]]);
+    /// ```
     pub fn run(
         &self,
         input: &Structure,
@@ -161,25 +243,28 @@ impl Program {
         }
         match semantics {
             Semantics::Inflationary => {
-                let mut state = base;
-                self.run_inflationary(&mut state, &self.rules.iter().collect::<Vec<_>>());
-                Some(state)
+                let mut engine = eval::Engine::new(self, &base);
+                engine.run_rules(&self.rules.iter().collect::<Vec<_>>());
+                Some(engine.into_structure(base))
             }
             Semantics::Stratified => {
-                let mut state = base;
+                let mut engine = eval::Engine::new(self, &base);
                 for stratum in self.stratify() {
-                    self.run_inflationary(&mut state, &stratum);
+                    engine.run_rules(&stratum);
                 }
-                Some(state)
+                Some(engine.into_structure(base))
             }
             Semantics::Partial => {
                 let mut seen: HashSet<String> = HashSet::new();
                 let mut state = base.clone();
                 for _ in 0..max_steps {
                     let mut next = base.clone();
-                    for rule in &self.rules {
-                        for tuple in self.rule_heads(rule, &state) {
-                            next.insert(&rule.head_relation, &tuple);
+                    {
+                        let mut engine = eval::Engine::new(self, &state);
+                        for rule in &self.rules {
+                            for tuple in engine.rule_heads(rule) {
+                                next.insert(&rule.head_relation, &tuple);
+                            }
                         }
                     }
                     if next == state {
@@ -214,38 +299,13 @@ impl Program {
         result.relation(&self.output).map(|r| !r.is_empty()).unwrap_or(false)
     }
 
-    /// Applies the given rules inflationarily until nothing new is derived.
-    ///
-    /// Simultaneous firing against the pre-round state needs no snapshot
-    /// clone: all head tuples of the round are derived from the unmodified
-    /// state first, then inserted.
-    fn run_inflationary(&self, state: &mut Structure, rules: &[&Rule]) {
-        let mut round: Vec<(&str, Vec<Vec<u32>>)> = Vec::with_capacity(rules.len());
-        loop {
-            round.clear();
-            round.extend(
-                rules
-                    .iter()
-                    .map(|rule| (rule.head_relation.as_str(), self.rule_heads(rule, state))),
-            );
-            let mut changed = false;
-            for (head, tuples) in &round {
-                for tuple in tuples {
-                    if !state.contains(head, tuple) {
-                        state.insert(head, tuple);
-                        changed = true;
-                    }
-                }
-            }
-            if !changed {
-                return;
-            }
-        }
-    }
-
     /// Partitions the rules into strata: a rule goes into the first stratum in
     /// which every relation it negates or counts is already fully defined
     /// (i.e. no later stratum has a rule with that head).
+    ///
+    /// Shared by the delta-driven engine and the frozen `datalog::naive` oracle:
+    /// stratification decides *which* rules run against *what*, not how a
+    /// round is evaluated.
     ///
     /// # Panics
     /// Panics if the program has negation (or counting) through recursion,
@@ -301,172 +361,6 @@ impl Program {
 
     fn head_arity(&self, name: &str) -> Option<usize> {
         self.rules.iter().find(|r| r.head_relation == name).map(|r| r.head_terms.len())
-    }
-
-    /// All head tuples derivable from one rule against a snapshot.
-    fn rule_heads(&self, rule: &Rule, snapshot: &Structure) -> Vec<Vec<u32>> {
-        let mut bindings: Vec<HashMap<u32, u32>> = vec![HashMap::new()];
-        for literal in &rule.body {
-            bindings = self.apply_literal(literal, &bindings, snapshot);
-            if bindings.is_empty() {
-                return Vec::new();
-            }
-        }
-        let mut out = Vec::new();
-        for binding in &bindings {
-            let tuple: Vec<u32> = rule
-                .head_terms
-                .iter()
-                .map(|t| {
-                    Self::value(t, binding).unwrap_or_else(|| {
-                        panic!(
-                            "unsafe rule: head variable of {} not bound by the body",
-                            rule.head_relation
-                        )
-                    })
-                })
-                .collect();
-            out.push(tuple);
-        }
-        out
-    }
-
-    fn value(term: &Term, binding: &HashMap<u32, u32>) -> Option<u32> {
-        match term {
-            Term::Const(c) => Some(*c),
-            Term::Var(v) => binding.get(v).copied(),
-        }
-    }
-
-    fn apply_literal(
-        &self,
-        literal: &Literal,
-        bindings: &[HashMap<u32, u32>],
-        snapshot: &Structure,
-    ) -> Vec<HashMap<u32, u32>> {
-        let mut out = Vec::new();
-        match literal {
-            Literal::Pos { relation, terms } => {
-                let Some(rel) = snapshot.relation(relation) else {
-                    return Vec::new();
-                };
-                for binding in bindings {
-                    for tuple in rel.iter() {
-                        if let Some(extended) = Self::unify(terms, tuple, binding) {
-                            out.push(extended);
-                        }
-                    }
-                }
-            }
-            Literal::Neg { relation, terms } => {
-                for binding in bindings {
-                    let tuple: Vec<u32> = terms
-                        .iter()
-                        .map(|t| {
-                            Self::value(t, binding)
-                                .expect("unsafe rule: negative literal with unbound variable")
-                        })
-                        .collect();
-                    if !snapshot.contains(relation, &tuple) {
-                        out.push(binding.clone());
-                    }
-                }
-            }
-            Literal::Eq(a, b) | Literal::Neq(a, b) => {
-                let want_equal = matches!(literal, Literal::Eq(..));
-                for binding in bindings {
-                    let va = Self::value(a, binding)
-                        .expect("unsafe rule: comparison with unbound variable");
-                    let vb = Self::value(b, binding)
-                        .expect("unsafe rule: comparison with unbound variable");
-                    if (va == vb) == want_equal {
-                        out.push(binding.clone());
-                    }
-                }
-            }
-            Literal::Count { relation, terms, counted, result } => {
-                for binding in bindings {
-                    let count = self.count_matches(relation, terms, counted, binding, snapshot);
-                    match Self::value(result, binding) {
-                        Some(expected) => {
-                            if expected as usize == count {
-                                out.push(binding.clone());
-                            }
-                        }
-                        None => {
-                            if let Term::Var(v) = result {
-                                let mut extended = binding.clone();
-                                extended.insert(*v, count as u32);
-                                out.push(extended);
-                            } else {
-                                unreachable!("constant result term is always bound");
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        out
-    }
-
-    fn count_matches(
-        &self,
-        relation: &str,
-        terms: &[Term],
-        counted: &[u32],
-        binding: &HashMap<u32, u32>,
-        snapshot: &Structure,
-    ) -> usize {
-        let Some(rel) = snapshot.relation(relation) else {
-            return 0;
-        };
-        let mut witnesses: HashSet<Vec<u32>> = HashSet::new();
-        for tuple in rel.iter() {
-            if let Some(extended) = Self::unify(terms, tuple, binding) {
-                let witness: Vec<u32> = counted
-                    .iter()
-                    .map(|v| {
-                        *extended
-                            .get(v)
-                            .expect("counted variable does not occur in the counted atom")
-                    })
-                    .collect();
-                witnesses.insert(witness);
-            }
-        }
-        witnesses.len()
-    }
-
-    /// Tries to extend `binding` so the atom's terms match `tuple`.
-    fn unify(
-        terms: &[Term],
-        tuple: &[u32],
-        binding: &HashMap<u32, u32>,
-    ) -> Option<HashMap<u32, u32>> {
-        if terms.len() != tuple.len() {
-            return None;
-        }
-        let mut extended = binding.clone();
-        for (term, &value) in terms.iter().zip(tuple.iter()) {
-            match term {
-                Term::Const(c) => {
-                    if *c != value {
-                        return None;
-                    }
-                }
-                Term::Var(v) => match extended.get(v) {
-                    Some(&bound) => {
-                        if bound != value {
-                            return None;
-                        }
-                    }
-                    None => {
-                        extended.insert(*v, value);
-                    }
-                },
-            }
-        }
-        Some(extended)
     }
 }
 
@@ -674,6 +568,87 @@ mod tests {
         ));
         let result = program.run(&s, Semantics::Inflationary, usize::MAX).unwrap();
         assert_eq!(result.relation("OutDeg2").unwrap().sorted_tuples(), vec![vec![0]]);
+    }
+
+    #[test]
+    fn count_over_derived_relation_reevaluates() {
+        // Deg(x, n) <- Node(x), #{y : T(x, y)} = n with T growing by
+        // recursion: a counting literal over a relation being derived is not
+        // delta-rewritable, so this exercises the full-re-evaluation fallback.
+        // Inflationary semantics accumulates one Deg fact per intermediate
+        // count, which pins the exact per-round states.
+        let mut s = Structure::new(5);
+        for i in 0..3u32 {
+            s.insert("E", &[i, i + 1]);
+        }
+        for i in 0..4u32 {
+            s.insert("Node", &[i]);
+        }
+        let program = Program::new("Deg")
+            .rule(Rule::new(
+                "T",
+                vec![v(0), v(1)],
+                vec![Literal::Pos { relation: "E".into(), terms: vec![v(0), v(1)] }],
+            ))
+            .rule(Rule::new(
+                "T",
+                vec![v(0), v(2)],
+                vec![
+                    Literal::Pos { relation: "T".into(), terms: vec![v(0), v(1)] },
+                    Literal::Pos { relation: "E".into(), terms: vec![v(1), v(2)] },
+                ],
+            ))
+            .rule(Rule::new(
+                "Deg",
+                vec![v(0), v(1)],
+                vec![
+                    Literal::Pos { relation: "Node".into(), terms: vec![v(0)] },
+                    Literal::Count {
+                        relation: "T".into(),
+                        terms: vec![v(0), v(2)],
+                        counted: vec![2],
+                        result: v(1),
+                    },
+                ],
+            ));
+        let result = program.run(&s, Semantics::Inflationary, usize::MAX).unwrap();
+        let deg = result.relation("Deg").unwrap();
+        // Node 0 reaches 1, then 2, then 3: counts 0 (round 0), 1, 2, 3 all
+        // get recorded as the fixpoint inflates.
+        for n in 0..=3u32 {
+            assert!(deg.contains(&[0, n]), "missing Deg(0, {n})");
+        }
+        assert!(deg.contains(&[3, 0]));
+        assert!(!deg.contains(&[3, 1]));
+    }
+
+    #[test]
+    fn repeated_variables_and_constants_in_atoms() {
+        // Loop(x) <- E(x, x); Hub(x) <- E(x, 2), E(2, x): repeated variables
+        // within an atom and constant key positions must survive the
+        // compiled join-key split.
+        let mut s = Structure::new(4);
+        s.insert("E", &[0, 0]);
+        s.insert("E", &[0, 2]);
+        s.insert("E", &[2, 0]);
+        s.insert("E", &[1, 2]);
+        let program = Program::new("Loop")
+            .rule(Rule::new(
+                "Loop",
+                vec![v(0)],
+                vec![Literal::Pos { relation: "E".into(), terms: vec![v(0), v(0)] }],
+            ))
+            .rule(Rule::new(
+                "Hub",
+                vec![v(0)],
+                vec![
+                    Literal::Pos { relation: "E".into(), terms: vec![v(0), Term::Const(2)] },
+                    Literal::Pos { relation: "E".into(), terms: vec![Term::Const(2), v(0)] },
+                ],
+            ));
+        let result = program.run(&s, Semantics::Inflationary, usize::MAX).unwrap();
+        assert_eq!(result.relation("Loop").unwrap().sorted_tuples(), vec![vec![0]]);
+        assert_eq!(result.relation("Hub").unwrap().sorted_tuples(), vec![vec![0]]);
     }
 
     #[test]

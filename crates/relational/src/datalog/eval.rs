@@ -1,0 +1,765 @@
+//! The delta-driven (semi-naive) rule evaluator behind [`Program::run`].
+//!
+//! The naive engine re-evaluates every rule against the full pre-round state
+//! every round, so a transitive-closure program pays `O(|T| · |E|)` scans per
+//! round even when the last round added three facts. This engine instead
+//! tracks, per derived relation, the *delta* — the facts that became true in
+//! the previous round — and rewrites each rule into delta variants:
+//!
+//! * a rule whose body has `k` positive literals over relations being derived
+//!   in the current run evaluates as `k` variants; variant `j` binds the
+//!   `j`-th such literal to the delta, the earlier ones to the state *before*
+//!   the delta (so no binding is enumerated by two variants' prefixes), and
+//!   the later ones to the full pre-round state;
+//! * negative, equality and counting literals always read the full frozen
+//!   pre-round state, exactly as the naive engine does, so inflationary,
+//!   stratified and partial-fixpoint semantics are unchanged;
+//! * a rule with `k = 0` (nothing it reads positively is being derived) can
+//!   only lose matches as the state grows — negation shrinks, counts over
+//!   relations outside the run are constant — so the facts it derives in
+//!   round 0 are all the facts it ever derives, and it never runs again;
+//! * a rule with a counting literal *over a relation being derived* is not
+//!   delta-rewritable (a growing count can newly satisfy a test without any
+//!   positive literal touching the delta), so it re-evaluates in full — but
+//!   only in rounds where a relation it positively reads or counts actually
+//!   changed.
+//!
+//! Joins go through per-relation hash indexes keyed by the bound term
+//! positions of each literal (bound positions are static per literal, so the
+//! key shape is compiled once per rule). Indexes are extended incrementally
+//! from the appended tuple suffix, never rebuilt, and posting lists store
+//! insertion ranks so a delta variant reads exactly the slice of an index
+//! that belongs to its round window.
+//!
+//! The pre-rewrite evaluator is frozen as [`super::naive`] behind the
+//! `naive-reference` feature; `tests/datalog_equivalence.rs` in the workspace
+//! root proves the two engines produce identical derived relations on all
+//! three semantics, counting and negation included.
+
+use super::{Literal, Program, Rule};
+use crate::fo::Term;
+use crate::structure::Structure;
+use std::collections::{HashMap, HashSet};
+
+/// A compiled term: a constant or a slot in the flat per-rule binding array.
+#[derive(Clone, Copy, Debug)]
+enum CTerm {
+    Const(u32),
+    Slot(usize),
+}
+
+/// A term position of an atom whose value is known when the literal is
+/// reached (a constant or an already-bound variable): together these
+/// positions form the join key.
+#[derive(Clone, Copy, Debug)]
+struct KeyPart {
+    pos: usize,
+    term: CTerm,
+}
+
+/// A term position not bound at literal entry: either the first occurrence of
+/// a variable (which binds it) or a repeat within the same atom (which must
+/// match the value just bound).
+#[derive(Clone, Copy, Debug)]
+enum RestAction {
+    Assign { pos: usize, slot: usize },
+    CheckSlot { pos: usize, slot: usize },
+}
+
+/// A compiled atom (`R(t̄)` in a positive or counting literal).
+#[derive(Clone, Debug)]
+struct CAtom {
+    rel: usize,
+    arity: usize,
+    /// Bitmask over term positions of `key` (0 ⇒ full scan, no index).
+    mask: u64,
+    key: Vec<KeyPart>,
+    rest: Vec<RestAction>,
+}
+
+/// What to do with the result term of a counting literal.
+#[derive(Clone, Copy, Debug)]
+enum CountResult {
+    /// Result is bound: the literal tests `count == value`.
+    Test(CTerm),
+    /// Result is an unbound variable: bind it to the count.
+    Assign(usize),
+}
+
+/// A compiled body literal.
+#[derive(Clone, Debug)]
+enum CLiteral {
+    Pos {
+        atom: CAtom,
+        /// `Some(i)` iff the relation is being derived in the current run;
+        /// `i` numbers this occurrence among the rule's active positive
+        /// literals and selects which delta variant binds it to the delta.
+        active_occurrence: Option<usize>,
+    },
+    Neg {
+        rel: usize,
+        terms: Vec<CTerm>,
+        /// False iff some variable was not bound by an earlier literal; the
+        /// panic fires only if a binding actually reaches the literal,
+        /// mirroring the naive engine.
+        safe: bool,
+    },
+    Cmp {
+        a: CTerm,
+        b: CTerm,
+        want_equal: bool,
+        safe: bool,
+    },
+    Count {
+        atom: CAtom,
+        /// Slot of each counted variable (`None` ⇒ the variable occurs
+        /// neither in the binding nor in the atom; panic on first match).
+        counted: Vec<Option<usize>>,
+        result: CountResult,
+    },
+}
+
+/// A rule compiled against a fixed set of active (currently-derived)
+/// relations.
+#[derive(Clone, Debug)]
+struct CRule {
+    head_rel: usize,
+    head: Vec<CTerm>,
+    head_safe: bool,
+    body: Vec<CLiteral>,
+    nslots: usize,
+    /// Relation of each active positive occurrence, indexed by occurrence.
+    active_occ_rels: Vec<usize>,
+    /// False iff a counting literal counts an active relation.
+    rewritable: bool,
+    /// Active relations read by positive or counting literals: the rule can
+    /// derive something new in a round only if one of these changed.
+    reads_active: Vec<usize>,
+}
+
+/// Which round window a rule evaluation reads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Variant {
+    /// Every literal reads the full pre-round state.
+    Full,
+    /// Active positive occurrence `j` reads the delta, earlier ones the
+    /// pre-delta state, later ones the full pre-round state.
+    Delta(usize),
+}
+
+/// Per-relation evaluation state: append-only tuple log, membership set, and
+/// incrementally-extended join indexes.
+#[derive(Debug, Default)]
+struct RelState {
+    arity: Option<usize>,
+    /// Insertion-ordered log; `[..prev_len)` is the pre-delta state,
+    /// `[prev_len..full_len)` the delta, `[..full_len)` the full pre-round
+    /// state. Tuples past `full_len` were derived this round and are
+    /// invisible until the boundaries advance.
+    tuples: Vec<Vec<u32>>,
+    set: HashSet<Vec<u32>>,
+    initial_len: usize,
+    prev_len: usize,
+    full_len: usize,
+    /// Join indexes by key mask; posting lists hold insertion ranks in
+    /// ascending order so round windows are contiguous sub-slices.
+    indexes: HashMap<u64, Index>,
+}
+
+#[derive(Debug, Default)]
+struct Index {
+    upto: usize,
+    map: HashMap<Vec<u32>, Vec<u32>>,
+}
+
+impl RelState {
+    fn delta_is_empty(&self) -> bool {
+        self.prev_len == self.full_len
+    }
+}
+
+/// The evaluation engine: interned relation names plus per-relation state.
+///
+/// One engine evaluates one inflationary run (or, for the partial-fixpoint
+/// mode, one from-scratch step); [`Program::run`] drives it.
+///
+/// Only the relations the program actually mentions (heads and literal
+/// relations) are loaded: a program touching three relations of a structure
+/// that exports twenty pays for three, and the untouched ones flow through
+/// [`Engine::into_structure`] untouched.
+pub(super) struct Engine<'p> {
+    names: Vec<&'p str>,
+    ids: HashMap<&'p str, usize>,
+    rels: Vec<RelState>,
+}
+
+impl<'p> Engine<'p> {
+    /// Builds an engine over the given base state (input relations with the
+    /// derived relations already emptied and re-declared by the caller).
+    pub(super) fn new(program: &'p Program, base: &Structure) -> Self {
+        let mut engine = Engine { names: Vec::new(), ids: HashMap::new(), rels: Vec::new() };
+        for rule in &program.rules {
+            engine.intern(&rule.head_relation);
+            for literal in &rule.body {
+                match literal {
+                    Literal::Pos { relation, .. }
+                    | Literal::Neg { relation, .. }
+                    | Literal::Count { relation, .. } => {
+                        engine.intern(relation);
+                    }
+                    Literal::Eq(..) | Literal::Neq(..) => {}
+                }
+            }
+        }
+        for id in 0..engine.names.len() {
+            let name = engine.names[id];
+            let rel = &mut engine.rels[id];
+            if let Some(source) = base.relation(name) {
+                rel.arity = Some(source.arity());
+                rel.tuples = source.iter().cloned().collect();
+                rel.set = rel.tuples.iter().cloned().collect();
+            }
+            let len = rel.tuples.len();
+            rel.initial_len = len;
+            rel.prev_len = len;
+            rel.full_len = len;
+        }
+        engine
+    }
+
+    fn intern(&mut self, name: &'p str) -> usize {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len();
+        self.names.push(name);
+        self.ids.insert(name, id);
+        self.rels.push(RelState::default());
+        id
+    }
+
+    /// Runs the given rules (one stratum, or the whole program) inflationarily
+    /// to their fixpoint with semi-naive iteration.
+    pub(super) fn run_rules(&mut self, rules: &[&'p Rule]) {
+        let mut active = vec![false; self.rels.len()];
+        for rule in rules {
+            active[self.ids[rule.head_relation.as_str()]] = true;
+        }
+        let compiled: Vec<CRule> = rules.iter().map(|rule| self.compile(rule, &active)).collect();
+        // A fresh run: everything already derived is plain state, no delta.
+        for rel in &mut self.rels {
+            let len = rel.tuples.len();
+            rel.prev_len = len;
+            rel.full_len = len;
+        }
+        // Round 0: every rule runs in full against the pre-run state.
+        let mut pending: Vec<(usize, Vec<Vec<u32>>)> = Vec::new();
+        for rule in &compiled {
+            let heads = self.rule_heads_compiled(rule, Variant::Full);
+            if !heads.is_empty() {
+                pending.push((rule.head_rel, heads));
+            }
+        }
+        let mut changed = self.commit(&mut pending);
+        // Semi-naive rounds: only delta variants, plus full re-evaluation of
+        // the (rare) non-rewritable rules whose counted relations changed.
+        while changed {
+            for rel in &mut self.rels {
+                rel.prev_len = rel.full_len;
+                rel.full_len = rel.tuples.len();
+            }
+            for rule in &compiled {
+                if rule.rewritable {
+                    for j in 0..rule.active_occ_rels.len() {
+                        if self.rels[rule.active_occ_rels[j]].delta_is_empty() {
+                            continue;
+                        }
+                        let heads = self.rule_heads_compiled(rule, Variant::Delta(j));
+                        if !heads.is_empty() {
+                            pending.push((rule.head_rel, heads));
+                        }
+                    }
+                } else if rule.reads_active.iter().any(|&r| !self.rels[r].delta_is_empty()) {
+                    let heads = self.rule_heads_compiled(rule, Variant::Full);
+                    if !heads.is_empty() {
+                        pending.push((rule.head_rel, heads));
+                    }
+                }
+            }
+            changed = self.commit(&mut pending);
+        }
+    }
+
+    /// All head tuples derivable from one (uncompiled) rule against the
+    /// engine's current state — the partial-fixpoint step primitive.
+    pub(super) fn rule_heads(&mut self, rule: &'p Rule) -> Vec<Vec<u32>> {
+        let active = vec![false; self.rels.len()];
+        let compiled = self.compile(rule, &active);
+        self.rule_heads_compiled(&compiled, Variant::Full)
+    }
+
+    /// Moves the derived facts onto the caller's base structure (which the
+    /// engine does not borrow, so no extra clone of the input relations).
+    pub(super) fn into_structure(self, mut base: Structure) -> Structure {
+        for (id, rel) in self.rels.iter().enumerate() {
+            for tuple in &rel.tuples[rel.initial_len..] {
+                base.insert(self.names[id], tuple);
+            }
+        }
+        base
+    }
+
+    /// Inserts the round's pending head tuples; returns whether anything was
+    /// genuinely new. Insertion happens strictly after every rule of the
+    /// round has been evaluated, so rules never observe mid-round facts.
+    fn commit(&mut self, pending: &mut Vec<(usize, Vec<Vec<u32>>)>) -> bool {
+        let mut changed = false;
+        for (rel_id, tuples) in pending.drain(..) {
+            let rel = &mut self.rels[rel_id];
+            for tuple in tuples {
+                if rel.set.insert(tuple.clone()) {
+                    rel.tuples.push(tuple);
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+
+    /// Compiles a rule against the active-relation set: variables become
+    /// slots in a flat binding array, atom positions split into a static join
+    /// key (constants and variables bound by earlier literals) and the
+    /// assign/check actions for the remaining positions.
+    fn compile(&mut self, rule: &'p Rule, active: &[bool]) -> CRule {
+        let mut vars = VarMap::default();
+        let mut body = Vec::with_capacity(rule.body.len());
+        let mut active_occ_rels = Vec::new();
+        let mut rewritable = true;
+        let mut reads_active = Vec::new();
+        for literal in &rule.body {
+            match literal {
+                Literal::Pos { relation, terms } => {
+                    let rel = self.intern(relation);
+                    let atom = compile_atom(rel, terms, &mut vars, true);
+                    let active_occurrence = active[rel].then(|| {
+                        active_occ_rels.push(rel);
+                        reads_active.push(rel);
+                        active_occ_rels.len() - 1
+                    });
+                    body.push(CLiteral::Pos { atom, active_occurrence });
+                }
+                Literal::Neg { relation, terms } => {
+                    let rel = self.intern(relation);
+                    let mut safe = true;
+                    let terms = terms.iter().map(|t| vars.bound_term(t, &mut safe)).collect();
+                    body.push(CLiteral::Neg { rel, terms, safe });
+                }
+                Literal::Eq(a, b) | Literal::Neq(a, b) => {
+                    let mut safe = true;
+                    let a = vars.bound_term(a, &mut safe);
+                    let b = vars.bound_term(b, &mut safe);
+                    let want_equal = matches!(literal, Literal::Eq(..));
+                    body.push(CLiteral::Cmp { a, b, want_equal, safe });
+                }
+                Literal::Count { relation, terms, counted, result } => {
+                    let rel = self.intern(relation);
+                    if active[rel] {
+                        // A growing count can newly satisfy the literal with
+                        // no delta fact in any positive literal: fall back to
+                        // full re-evaluation whenever a read relation grows.
+                        rewritable = false;
+                        reads_active.push(rel);
+                    }
+                    // The atom's variables are existential within the count:
+                    // they bind slots while matching but stay unbound for the
+                    // rest of the body, exactly like the naive engine, which
+                    // discards the per-tuple extension.
+                    let atom = compile_atom(rel, terms, &mut vars, false);
+                    let assigned: HashSet<usize> = atom
+                        .rest
+                        .iter()
+                        .filter_map(|a| match a {
+                            RestAction::Assign { slot, .. } => Some(*slot),
+                            RestAction::CheckSlot { .. } => None,
+                        })
+                        .collect();
+                    let counted = counted
+                        .iter()
+                        .map(|v| {
+                            vars.slots
+                                .get(v)
+                                .copied()
+                                .filter(|&s| vars.bound[s] || assigned.contains(&s))
+                        })
+                        .collect();
+                    let result = match result {
+                        Term::Const(c) => CountResult::Test(CTerm::Const(*c)),
+                        Term::Var(v) => {
+                            let slot = vars.slot(*v);
+                            if vars.bound[slot] {
+                                CountResult::Test(CTerm::Slot(slot))
+                            } else {
+                                vars.bound[slot] = true;
+                                CountResult::Assign(slot)
+                            }
+                        }
+                    };
+                    body.push(CLiteral::Count { atom, counted, result });
+                }
+            }
+        }
+        let mut head_safe = true;
+        let head = rule.head_terms.iter().map(|t| vars.bound_term(t, &mut head_safe)).collect();
+        reads_active.sort_unstable();
+        reads_active.dedup();
+        CRule {
+            head_rel: self.intern(&rule.head_relation),
+            head,
+            head_safe,
+            body,
+            nslots: vars.bound.len(),
+            active_occ_rels,
+            rewritable,
+            reads_active,
+        }
+    }
+
+    /// All head tuples derivable from one compiled rule under the given
+    /// variant. Every read is capped at the pre-round boundaries, so facts
+    /// committed by earlier rounds of the same run are visible and facts of
+    /// the current round are not.
+    fn rule_heads_compiled(&mut self, rule: &CRule, variant: Variant) -> Vec<Vec<u32>> {
+        let mut bindings: Vec<Vec<u32>> = vec![vec![0; rule.nslots]];
+        for literal in &rule.body {
+            match literal {
+                CLiteral::Pos { atom, active_occurrence } => {
+                    let (lo, hi) = match (variant, active_occurrence) {
+                        (Variant::Delta(j), Some(i)) if *i == j => {
+                            (self.rels[atom.rel].prev_len, self.rels[atom.rel].full_len)
+                        }
+                        (Variant::Delta(j), Some(i)) if *i < j => (0, self.rels[atom.rel].prev_len),
+                        _ => (0, self.rels[atom.rel].full_len),
+                    };
+                    bindings = self.eval_pos(atom, &bindings, lo, hi);
+                }
+                CLiteral::Neg { rel, terms, safe } => {
+                    if bindings.is_empty() {
+                        return Vec::new();
+                    }
+                    assert!(*safe, "unsafe rule: negative literal with unbound variable");
+                    let state = &self.rels[*rel];
+                    let mut scratch = Vec::with_capacity(terms.len());
+                    bindings.retain(|binding| {
+                        scratch.clear();
+                        scratch.extend(terms.iter().map(|t| term_value(*t, binding)));
+                        !state.set.contains(scratch.as_slice())
+                    });
+                }
+                CLiteral::Cmp { a, b, want_equal, safe } => {
+                    if bindings.is_empty() {
+                        return Vec::new();
+                    }
+                    assert!(*safe, "unsafe rule: comparison with unbound variable");
+                    bindings.retain(|binding| {
+                        (term_value(*a, binding) == term_value(*b, binding)) == *want_equal
+                    });
+                }
+                CLiteral::Count { atom, counted, result } => {
+                    bindings = self.eval_count(atom, counted, *result, &bindings);
+                }
+            }
+            if bindings.is_empty() {
+                return Vec::new();
+            }
+        }
+        assert!(
+            rule.head_safe,
+            "unsafe rule: head variable of {} not bound by the body",
+            self.names[rule.head_rel]
+        );
+        bindings
+            .iter()
+            .map(|binding| rule.head.iter().map(|t| term_value(*t, binding)).collect())
+            .collect()
+    }
+
+    /// Extends each binding by the matches of a positive atom within the
+    /// tuple-rank window `[lo, hi)`, through the join index on the atom's
+    /// bound positions. An atom that binds no new variable degenerates to a
+    /// semi-join (the binding survives iff at least one tuple matches).
+    fn eval_pos(
+        &mut self,
+        atom: &CAtom,
+        bindings: &[Vec<u32>],
+        lo: usize,
+        hi: usize,
+    ) -> Vec<Vec<u32>> {
+        if lo >= hi || self.rels[atom.rel].arity != Some(atom.arity) {
+            return Vec::new();
+        }
+        if atom.mask != 0 {
+            self.ensure_index(atom.rel, atom.mask, &atom.key);
+        }
+        let rel = &self.rels[atom.rel];
+        let semi_join = !atom.rest.iter().any(|a| matches!(a, RestAction::Assign { .. }));
+        let mut out = Vec::new();
+        let mut key = Vec::with_capacity(atom.key.len());
+        for binding in bindings {
+            if atom.mask != 0 {
+                key.clear();
+                key.extend(atom.key.iter().map(|kp| term_value(kp.term, binding)));
+                let Some(postings) = rel.indexes[&atom.mask].map.get(&key) else {
+                    continue;
+                };
+                let start = postings.partition_point(|&i| (i as usize) < lo);
+                let end = postings.partition_point(|&i| (i as usize) < hi);
+                for &rank in &postings[start..end] {
+                    let tuple = &rel.tuples[rank as usize];
+                    if let Some(extended) = extend_binding(binding, atom, tuple, false) {
+                        out.push(extended);
+                        if semi_join {
+                            break;
+                        }
+                    }
+                }
+            } else {
+                for tuple in &rel.tuples[lo..hi] {
+                    if let Some(extended) = extend_binding(binding, atom, tuple, true) {
+                        out.push(extended);
+                        if semi_join {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Evaluates a counting literal: the number of distinct projections onto
+    /// the counted variables over the atom's matches in the full pre-round
+    /// state, tested against or bound to the result term.
+    fn eval_count(
+        &mut self,
+        atom: &CAtom,
+        counted: &[Option<usize>],
+        result: CountResult,
+        bindings: &[Vec<u32>],
+    ) -> Vec<Vec<u32>> {
+        let arity_ok = self.rels[atom.rel].arity == Some(atom.arity);
+        if arity_ok && atom.mask != 0 {
+            self.ensure_index(atom.rel, atom.mask, &atom.key);
+        }
+        let rel = &self.rels[atom.rel];
+        let hi = rel.full_len;
+        let mut out = Vec::new();
+        let mut key = Vec::with_capacity(atom.key.len());
+        let mut witnesses: HashSet<Vec<u32>> = HashSet::new();
+        let mut scratch: Vec<u32> = Vec::new();
+        for binding in bindings {
+            witnesses.clear();
+            scratch.clear();
+            scratch.extend_from_slice(binding);
+            let witness_of = |scratch: &[u32]| -> Vec<u32> {
+                counted
+                    .iter()
+                    .map(|slot| {
+                        scratch[slot.expect("counted variable does not occur in the counted atom")]
+                    })
+                    .collect()
+            };
+            if arity_ok {
+                if atom.mask != 0 {
+                    key.clear();
+                    key.extend(atom.key.iter().map(|kp| term_value(kp.term, binding)));
+                    if let Some(postings) = rel.indexes[&atom.mask].map.get(&key) {
+                        let end = postings.partition_point(|&i| (i as usize) < hi);
+                        for &rank in &postings[..end] {
+                            if extend_in_place(
+                                &mut scratch,
+                                atom,
+                                &rel.tuples[rank as usize],
+                                false,
+                            ) {
+                                witnesses.insert(witness_of(&scratch));
+                            }
+                        }
+                    }
+                } else {
+                    for tuple in &rel.tuples[..hi] {
+                        if extend_in_place(&mut scratch, atom, tuple, true) {
+                            witnesses.insert(witness_of(&scratch));
+                        }
+                    }
+                }
+            }
+            let count = witnesses.len();
+            match result {
+                CountResult::Test(term) => {
+                    if term_value(term, binding) as usize == count {
+                        out.push(binding.clone());
+                    }
+                }
+                CountResult::Assign(slot) => {
+                    let mut extended = binding.clone();
+                    extended[slot] = count as u32;
+                    out.push(extended);
+                }
+            }
+        }
+        out
+    }
+
+    /// Gets or incrementally extends the index of `rel` on the key positions
+    /// in `mask`: only the tuples appended since the last extension are
+    /// visited, never the whole relation.
+    fn ensure_index(&mut self, rel_id: usize, mask: u64, key: &[KeyPart]) {
+        let rel = &mut self.rels[rel_id];
+        let index = rel.indexes.entry(mask).or_default();
+        if index.upto == rel.tuples.len() {
+            return;
+        }
+        for rank in index.upto..rel.tuples.len() {
+            let tuple = &rel.tuples[rank];
+            let key_values: Vec<u32> = key.iter().map(|kp| tuple[kp.pos]).collect();
+            index.map.entry(key_values).or_default().push(rank as u32);
+        }
+        index.upto = rel.tuples.len();
+    }
+}
+
+/// Variable-to-slot mapping built up while compiling one rule.
+#[derive(Default)]
+struct VarMap {
+    slots: HashMap<u32, usize>,
+    bound: Vec<bool>,
+}
+
+impl VarMap {
+    /// The slot of a variable, allocated (unbound) on first sight.
+    fn slot(&mut self, v: u32) -> usize {
+        let bound = &mut self.bound;
+        *self.slots.entry(v).or_insert_with(|| {
+            bound.push(false);
+            bound.len() - 1
+        })
+    }
+
+    /// Compiles a term that the semantics require to be already bound,
+    /// clearing `safe` if it is not (the panic fires at evaluation time, and
+    /// only if a binding actually reaches the literal, like the naive
+    /// engine).
+    fn bound_term(&mut self, term: &Term, safe: &mut bool) -> CTerm {
+        match term {
+            Term::Const(c) => CTerm::Const(*c),
+            Term::Var(v) => {
+                let slot = self.slot(*v);
+                *safe &= self.bound[slot];
+                CTerm::Slot(slot)
+            }
+        }
+    }
+}
+
+/// Compiles an atom's positions into join-key parts (constants and variables
+/// bound before the literal) and assign/check actions for the rest. When
+/// `persist` is false (counting atoms), freshly-assigned variables do not
+/// stay bound after the literal.
+fn compile_atom(rel: usize, terms: &[Term], vars: &mut VarMap, persist: bool) -> CAtom {
+    let mut key = Vec::new();
+    let mut rest = Vec::new();
+    let mut mask = 0u64;
+    let mut local: HashSet<usize> = HashSet::new();
+    for (pos, term) in terms.iter().enumerate() {
+        match term {
+            Term::Const(c) => {
+                key.push(KeyPart { pos, term: CTerm::Const(*c) });
+                if pos < 64 {
+                    mask |= 1 << pos;
+                }
+            }
+            Term::Var(v) => {
+                let slot = vars.slot(*v);
+                if vars.bound[slot] {
+                    key.push(KeyPart { pos, term: CTerm::Slot(slot) });
+                    if pos < 64 {
+                        mask |= 1 << pos;
+                    }
+                } else if local.contains(&slot) {
+                    rest.push(RestAction::CheckSlot { pos, slot });
+                } else {
+                    local.insert(slot);
+                    rest.push(RestAction::Assign { pos, slot });
+                }
+            }
+        }
+    }
+    if terms.len() > 64 {
+        // Key positions past the mask width cannot be distinguished; fall
+        // back to the scan path, which re-checks every key part.
+        mask = 0;
+    }
+    if persist {
+        for &slot in &local {
+            vars.bound[slot] = true;
+        }
+    }
+    CAtom { rel, arity: terms.len(), mask, key, rest }
+}
+
+fn term_value(term: CTerm, binding: &[u32]) -> u32 {
+    match term {
+        CTerm::Const(c) => c,
+        CTerm::Slot(slot) => binding[slot],
+    }
+}
+
+/// Clones `binding` extended by the atom's match against `tuple`, or `None`
+/// if the tuple does not match. `check_key` re-verifies the key positions
+/// (needed on the index-free scan path).
+fn extend_binding(
+    binding: &[u32],
+    atom: &CAtom,
+    tuple: &[u32],
+    check_key: bool,
+) -> Option<Vec<u32>> {
+    if check_key && !atom.key.iter().all(|kp| term_value(kp.term, binding) == tuple[kp.pos]) {
+        return None;
+    }
+    let mut extended = binding.to_vec();
+    for action in &atom.rest {
+        match *action {
+            RestAction::Assign { pos, slot } => extended[slot] = tuple[pos],
+            RestAction::CheckSlot { pos, slot } => {
+                if extended[slot] != tuple[pos] {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(extended)
+}
+
+/// In-place variant of [`extend_binding`] over a reusable scratch array (the
+/// counting path, where per-match extensions are discarded).
+fn extend_in_place(scratch: &mut [u32], atom: &CAtom, tuple: &[u32], check_key: bool) -> bool {
+    if check_key
+        && !atom.key.iter().all(|kp| match kp.term {
+            CTerm::Const(c) => c == tuple[kp.pos],
+            CTerm::Slot(slot) => scratch[slot] == tuple[kp.pos],
+        })
+    {
+        return false;
+    }
+    for action in &atom.rest {
+        match *action {
+            RestAction::Assign { pos, slot } => scratch[slot] = tuple[pos],
+            RestAction::CheckSlot { pos, slot } => {
+                if scratch[slot] != tuple[pos] {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}

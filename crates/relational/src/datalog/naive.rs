@@ -1,0 +1,270 @@
+//! The frozen pre-semi-naive Datalog evaluator — the reference oracle.
+//!
+//! This module preserves, bit for bit, the rule evaluation that shipped
+//! before the engine was rebuilt around delta-driven (semi-naive) iteration:
+//! every round re-evaluates every rule against the full pre-round state, one
+//! nested scan per positive literal, with `HashMap` bindings cloned at every
+//! extension. It exists only behind the `naive-reference` feature, as the
+//! oracle that `tests/datalog_equivalence.rs` and the bench runner compare
+//! the delta-driven engine against — the same pattern the arrangement
+//! (`topo-arrangement::naive`) and the canonicalisation
+//! (`topo-invariant`'s `canonical::naive`) use for their frozen reference
+//! paths.
+//!
+//! Stratification ([`Program::stratify`]) and the base-state setup are shared
+//! with the live engine: they define *which* rules run against *what*, not
+//! how a round is evaluated, so sharing them keeps the two evaluators
+//! comparable without duplicating semantics-defining code.
+//!
+//! Do not optimise this module; its value is that it never changes.
+
+use super::{Literal, Program, Rule, Semantics};
+use crate::fo::Term;
+use crate::structure::Structure;
+use std::collections::{HashMap, HashSet};
+
+/// Runs `program` on `input` with the frozen naive evaluator. Same contract
+/// as [`Program::run`]: `None` only in partial-fixpoint mode when no fixpoint
+/// is reached within `max_steps`.
+pub fn run(
+    program: &Program,
+    input: &Structure,
+    semantics: Semantics,
+    max_steps: usize,
+) -> Option<Structure> {
+    let derived = program.derived_relations();
+    // The base state: input relations with the derived relations emptied.
+    let mut base = input.clone();
+    for &name in &derived {
+        base.remove_relation(name);
+        if let Some(arity) = program.head_arity(name) {
+            base.add_relation(name, arity);
+        }
+    }
+    match semantics {
+        Semantics::Inflationary => {
+            let mut state = base;
+            run_inflationary(program, &mut state, &program.rules.iter().collect::<Vec<_>>());
+            Some(state)
+        }
+        Semantics::Stratified => {
+            let mut state = base;
+            for stratum in program.stratify() {
+                run_inflationary(program, &mut state, &stratum);
+            }
+            Some(state)
+        }
+        Semantics::Partial => {
+            let mut seen: HashSet<String> = HashSet::new();
+            let mut state = base.clone();
+            for _ in 0..max_steps {
+                let mut next = base.clone();
+                for rule in &program.rules {
+                    for tuple in rule_heads(rule, &state) {
+                        next.insert(&rule.head_relation, &tuple);
+                    }
+                }
+                if next == state {
+                    return Some(next);
+                }
+                if !seen.insert(next.fingerprint()) {
+                    // The iteration entered a cycle that is not a fixpoint.
+                    return None;
+                }
+                state = next;
+            }
+            None
+        }
+    }
+}
+
+/// Runs `program` inflationarily with the frozen evaluator and reports
+/// whether the output relation is non-empty.
+pub fn eval_boolean(program: &Program, input: &Structure) -> bool {
+    let result = run(program, input, Semantics::Inflationary, usize::MAX)
+        .expect("inflationary evaluation always terminates");
+    result.relation(&program.output).map(|r| !r.is_empty()).unwrap_or(false)
+}
+
+/// Applies the given rules inflationarily until nothing new is derived.
+///
+/// Simultaneous firing against the pre-round state needs no snapshot clone:
+/// all head tuples of the round are derived from the unmodified state first,
+/// then inserted.
+fn run_inflationary(_program: &Program, state: &mut Structure, rules: &[&Rule]) {
+    let mut round: Vec<(&str, Vec<Vec<u32>>)> = Vec::with_capacity(rules.len());
+    loop {
+        round.clear();
+        round.extend(
+            rules.iter().map(|rule| (rule.head_relation.as_str(), rule_heads(rule, state))),
+        );
+        let mut changed = false;
+        for (head, tuples) in &round {
+            for tuple in tuples {
+                if !state.contains(head, tuple) {
+                    state.insert(head, tuple);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return;
+        }
+    }
+}
+
+/// All head tuples derivable from one rule against a snapshot.
+fn rule_heads(rule: &Rule, snapshot: &Structure) -> Vec<Vec<u32>> {
+    let mut bindings: Vec<HashMap<u32, u32>> = vec![HashMap::new()];
+    for literal in &rule.body {
+        bindings = apply_literal(literal, &bindings, snapshot);
+        if bindings.is_empty() {
+            return Vec::new();
+        }
+    }
+    let mut out = Vec::new();
+    for binding in &bindings {
+        let tuple: Vec<u32> = rule
+            .head_terms
+            .iter()
+            .map(|t| {
+                value(t, binding).unwrap_or_else(|| {
+                    panic!(
+                        "unsafe rule: head variable of {} not bound by the body",
+                        rule.head_relation
+                    )
+                })
+            })
+            .collect();
+        out.push(tuple);
+    }
+    out
+}
+
+fn value(term: &Term, binding: &HashMap<u32, u32>) -> Option<u32> {
+    match term {
+        Term::Const(c) => Some(*c),
+        Term::Var(v) => binding.get(v).copied(),
+    }
+}
+
+fn apply_literal(
+    literal: &Literal,
+    bindings: &[HashMap<u32, u32>],
+    snapshot: &Structure,
+) -> Vec<HashMap<u32, u32>> {
+    let mut out = Vec::new();
+    match literal {
+        Literal::Pos { relation, terms } => {
+            let Some(rel) = snapshot.relation(relation) else {
+                return Vec::new();
+            };
+            for binding in bindings {
+                for tuple in rel.iter() {
+                    if let Some(extended) = unify(terms, tuple, binding) {
+                        out.push(extended);
+                    }
+                }
+            }
+        }
+        Literal::Neg { relation, terms } => {
+            for binding in bindings {
+                let tuple: Vec<u32> = terms
+                    .iter()
+                    .map(|t| {
+                        value(t, binding)
+                            .expect("unsafe rule: negative literal with unbound variable")
+                    })
+                    .collect();
+                if !snapshot.contains(relation, &tuple) {
+                    out.push(binding.clone());
+                }
+            }
+        }
+        Literal::Eq(a, b) | Literal::Neq(a, b) => {
+            let want_equal = matches!(literal, Literal::Eq(..));
+            for binding in bindings {
+                let va = value(a, binding).expect("unsafe rule: comparison with unbound variable");
+                let vb = value(b, binding).expect("unsafe rule: comparison with unbound variable");
+                if (va == vb) == want_equal {
+                    out.push(binding.clone());
+                }
+            }
+        }
+        Literal::Count { relation, terms, counted, result } => {
+            for binding in bindings {
+                let count = count_matches(relation, terms, counted, binding, snapshot);
+                match value(result, binding) {
+                    Some(expected) => {
+                        if expected as usize == count {
+                            out.push(binding.clone());
+                        }
+                    }
+                    None => {
+                        if let Term::Var(v) = result {
+                            let mut extended = binding.clone();
+                            extended.insert(*v, count as u32);
+                            out.push(extended);
+                        } else {
+                            unreachable!("constant result term is always bound");
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn count_matches(
+    relation: &str,
+    terms: &[Term],
+    counted: &[u32],
+    binding: &HashMap<u32, u32>,
+    snapshot: &Structure,
+) -> usize {
+    let Some(rel) = snapshot.relation(relation) else {
+        return 0;
+    };
+    let mut witnesses: HashSet<Vec<u32>> = HashSet::new();
+    for tuple in rel.iter() {
+        if let Some(extended) = unify(terms, tuple, binding) {
+            let witness: Vec<u32> = counted
+                .iter()
+                .map(|v| {
+                    *extended.get(v).expect("counted variable does not occur in the counted atom")
+                })
+                .collect();
+            witnesses.insert(witness);
+        }
+    }
+    witnesses.len()
+}
+
+/// Tries to extend `binding` so the atom's terms match `tuple`.
+fn unify(terms: &[Term], tuple: &[u32], binding: &HashMap<u32, u32>) -> Option<HashMap<u32, u32>> {
+    if terms.len() != tuple.len() {
+        return None;
+    }
+    let mut extended = binding.clone();
+    for (term, &value) in terms.iter().zip(tuple.iter()) {
+        match term {
+            Term::Const(c) => {
+                if *c != value {
+                    return None;
+                }
+            }
+            Term::Var(v) => match extended.get(v) {
+                Some(&bound) => {
+                    if bound != value {
+                        return None;
+                    }
+                }
+                None => {
+                    extended.insert(*v, value);
+                }
+            },
+        }
+    }
+    Some(extended)
+}

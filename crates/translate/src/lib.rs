@@ -29,4 +29,6 @@ pub use cycles::{
     SingleRegionTranslator,
 };
 pub use orderings::{all_invariant_orderings, orderings_agree, InvariantOrdering};
-pub use translate::{canonical_ordered_copy, ordered_copy, TranslatedQuery};
+pub use translate::{
+    canonical_ordered_copy, cell_census, invariant_census, ordered_copy, TranslatedQuery,
+};

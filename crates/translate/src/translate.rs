@@ -16,6 +16,22 @@ use topo_spatial::{DirectEvaluator, PointFormula, RealFormula};
 /// enough for query evaluation; [`canonical_ordered_copy`] instead uses the
 /// canonical order of Theorem 3.4 (invariant under isomorphism), the object
 /// the logical-definability argument needs.
+///
+/// ```
+/// use topo_spatial::{Region, SpatialInstance};
+/// use topo_translate::ordered_copy;
+///
+/// // A single rectangle: a 3-cell invariant (boundary curve, inside, outside).
+/// let instance =
+///     SpatialInstance::from_regions([("P", Region::rectangle(0, 0, 100, 100))]);
+/// let invariant = topo_invariant::top(&instance);
+/// assert_eq!(invariant.cell_count(), 3);
+/// let ordered = ordered_copy(&invariant);
+/// // The copy carries the numeric scaffolding and a strict total order on
+/// // the 3 cells: 3 ordered pairs.
+/// assert!(ordered.relation("Succ").is_some());
+/// assert_eq!(ordered.relation("CellOrder").unwrap().len(), 3);
+/// ```
 pub fn ordered_copy(invariant: &TopologicalInvariant) -> Structure {
     // Export order: the cell elements in ascending domain order.
     let elements: Vec<u32> = (2..(invariant.cell_count() as u32 + 2)).collect();
@@ -29,6 +45,26 @@ pub fn ordered_copy(invariant: &TopologicalInvariant) -> Structure {
 /// copies, which is exactly the order Theorem 3.4's fixpoint+counting query
 /// defines before handing the structure to an order-aware program
 /// (Immerman–Vardi).
+///
+/// ```
+/// use topo_spatial::{Region, SpatialInstance};
+/// use topo_translate::canonical_ordered_copy;
+///
+/// // The same topology drawn at two different places.
+/// let a = topo_invariant::top(&SpatialInstance::from_regions([
+///     ("P", Region::rectangle(0, 0, 100, 100)),
+/// ]));
+/// let b = topo_invariant::top(&SpatialInstance::from_regions([
+///     ("P", Region::rectangle(500, 500, 900, 700)),
+/// ]));
+/// assert!(a.is_isomorphic_to(&b));
+/// // The canonical order is isomorphism-invariant, so the ordered copies
+/// // are isomorphic structures.
+/// assert!(topo_relational::isomorphic(
+///     &canonical_ordered_copy(&a),
+///     &canonical_ordered_copy(&b),
+/// ));
+/// ```
 pub fn canonical_ordered_copy(invariant: &TopologicalInvariant) -> Structure {
     let elements: Vec<u32> = invariant
         .canonical_cell_order()
@@ -75,6 +111,32 @@ impl TranslatedQuery {
     /// to be topological (the paper makes the same assumption; topologicality
     /// of `FO(R,<)` sentences is undecidable).
     ///
+    /// ```
+    /// use topo_spatial::{PointFormula, Region, SpatialInstance};
+    /// use topo_translate::TranslatedQuery;
+    ///
+    /// // ∀p (p ∈ lake → p ∈ park): the containment sentence.
+    /// let sentence = PointFormula::Forall(
+    ///     0,
+    ///     Box::new(
+    ///         PointFormula::InRegion { region: 1, var: 0 }
+    ///             .implies(PointFormula::InRegion { region: 0, var: 0 }),
+    ///     ),
+    /// );
+    /// let query = TranslatedQuery::new(sentence);
+    ///
+    /// let instance = SpatialInstance::from_regions([
+    ///     ("park", Region::rectangle(0, 0, 100, 100)),
+    ///     ("lake", Region::rectangle(30, 30, 70, 70)),
+    /// ]);
+    /// let invariant = topo_invariant::top(&instance);
+    /// // φ(I) = inv(φ)(top(I)) — Theorem 4.1(1).
+    /// assert_eq!(
+    ///     query.evaluate_on_instance(&instance),
+    ///     query.evaluate(&invariant).unwrap(),
+    /// );
+    /// ```
+    ///
     /// # Panics
     /// Panics if the formula is not a sentence.
     pub fn new(formula: PointFormula) -> Self {
@@ -118,6 +180,22 @@ impl TranslatedQuery {
 
 /// Counts cells of each kind in an ordered copy — a tiny order-invariant
 /// sanity query used by tests and the experiments harness.
+///
+/// ```
+/// use topo_spatial::{Region, SpatialInstance};
+///
+/// let invariant = topo_invariant::top(&SpatialInstance::from_regions([
+///     ("P", Region::rectangle(0, 0, 100, 100)),
+/// ]));
+/// let ordered = topo_translate::ordered_copy(&invariant);
+/// // (vertices, edges, faces): the rectangle reduces to one closed curve
+/// // between two faces, and the census agrees with the invariant itself.
+/// assert_eq!(topo_translate::cell_census(&ordered), (0, 1, 2));
+/// assert_eq!(
+///     topo_translate::cell_census(&ordered),
+///     topo_translate::invariant_census(&invariant),
+/// );
+/// ```
 pub fn cell_census(structure: &Structure) -> (usize, usize, usize) {
     let count = |name: &str| structure.relation(name).map(|r| r.len()).unwrap_or(0);
     (count("Vertex"), count("Edge"), count("Face"))

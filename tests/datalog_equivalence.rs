@@ -1,0 +1,438 @@
+//! The delta-driven (semi-naive) Datalog engine must produce exactly the
+//! derived relations of the frozen naive oracle (`datalog::naive`, behind the
+//! `naive-reference` feature) on all three evaluation modes — inflationary,
+//! stratified, and partial fixpoint — negation and counting included.
+//!
+//! Equivalence is asserted at the structure level (`Option<Structure>`
+//! equality, i.e. every relation tuple-for-tuple and divergence verdicts
+//! included), on three fronts:
+//!
+//! * the real invariant-side programs of `topo_queries::programs` over seeded
+//!   datagen workloads,
+//! * hand-picked programs that stress the delta rewrite's edge cases (counts
+//!   over recursively-derived relations, negation inside recursion, rules
+//!   with no derived positive literal),
+//! * proptests over random range-restricted programs assembled from safe
+//!   rule templates, run against random structures.
+
+use proptest::prelude::*;
+use topo_core::relational::datalog::naive;
+use topo_core::relational::{Literal, Program, Rule, Semantics, Structure, Term};
+use topo_core::{datalog_program, top, TopologicalQuery};
+use topo_datagen::{figure1, ign_city, nested_rings, scattered_islands, sequoia_hydro, Scale};
+
+fn v(i: u32) -> Term {
+    Term::Var(i)
+}
+
+fn pos(relation: &str, terms: Vec<Term>) -> Literal {
+    Literal::Pos { relation: relation.to_string(), terms }
+}
+
+fn neg(relation: &str, terms: Vec<Term>) -> Literal {
+    Literal::Neg { relation: relation.to_string(), terms }
+}
+
+/// Runs both engines on every given semantics and asserts identical results.
+fn assert_engines_agree(
+    program: &Program,
+    input: &Structure,
+    semantics: &[Semantics],
+    max_steps: usize,
+    label: &str,
+) {
+    for &mode in semantics {
+        let fast = program.run(input, mode, max_steps);
+        let slow = naive::run(program, input, mode, max_steps);
+        assert_eq!(
+            fast.as_ref().map(Structure::fingerprint),
+            slow.as_ref().map(Structure::fingerprint),
+            "engines diverged on {label} under {mode:?}"
+        );
+        assert_eq!(fast, slow, "fingerprints agree but structures differ on {label}? ({mode:?})");
+    }
+}
+
+const ALL_MODES: [Semantics; 3] =
+    [Semantics::Inflationary, Semantics::Stratified, Semantics::Partial];
+
+#[test]
+fn query_library_programs_agree_on_seeded_workloads() {
+    // Small scales: the frozen oracle re-scans full relations per binding
+    // per round, so recursive programs (IsConnected's Reach is quadratic in
+    // the region's cells) are only tractable for it on small invariants.
+    // The bench runner exercises the larger scales in release mode.
+    let instances = [
+        ("figure1", figure1()),
+        ("nested_rings", nested_rings(3, 2)),
+        ("islands", scattered_islands(4)),
+        ("hydro_small", sequoia_hydro(Scale { grid: 2 }, 5)),
+        ("city_small", ign_city(Scale { grid: 2 }, 7)),
+        (
+            "three_rects",
+            topo_core::SpatialInstance::from_regions([
+                ("P", topo_core::Region::rectangle(0, 0, 100, 100)),
+                ("Q", topo_core::Region::rectangle(20, 20, 80, 80)),
+                ("R", topo_core::Region::rectangle(100, 0, 200, 100)),
+            ]),
+        ),
+    ];
+    let queries = [
+        TopologicalQuery::Intersects(0, 1),
+        TopologicalQuery::Disjoint(0, 1),
+        TopologicalQuery::Contains(0, 1),
+        TopologicalQuery::IsConnected(0),
+        TopologicalQuery::HasHole(0),
+    ];
+    for (name, instance) in &instances {
+        let invariant = top(instance);
+        let structure = invariant.to_structure();
+        for query in &queries {
+            if matches!(
+                query,
+                TopologicalQuery::Intersects(_, b)
+                    | TopologicalQuery::Disjoint(_, b)
+                    | TopologicalQuery::Contains(_, b)
+                    if *b >= instance.schema().len()
+            ) {
+                continue;
+            }
+            let Some(program) = datalog_program(query, instance.schema()) else {
+                continue;
+            };
+            // Stratified is the mode the library runs under; inflationary
+            // must agree between engines too (its per-round semantics differ
+            // from stratified, but the two engines must match round for
+            // round).
+            assert_engines_agree(
+                &program,
+                &structure,
+                &[Semantics::Inflationary, Semantics::Stratified],
+                usize::MAX,
+                &format!("{query:?} on {name}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn counting_program_agrees_on_island_workloads() {
+    let schema = topo_core::Schema::from_names(["islands"]);
+    for count in [2usize, 3, 5] {
+        let invariant = top(&scattered_islands(count));
+        let mut structure = invariant.to_structure();
+        structure.add_numeric_relations();
+        let program = topo_core::queries::programs::even_closed_curves_program(&schema, 0);
+        assert_engines_agree(
+            &program,
+            &structure,
+            &[Semantics::Inflationary, Semantics::Stratified],
+            usize::MAX,
+            &format!("even_closed_curves on {count} islands"),
+        );
+    }
+}
+
+/// A directed path with a fork, plus unary colours — enough structure for
+/// recursion, negation and counting to all have bite.
+fn fork_structure() -> Structure {
+    let mut s = Structure::new(7);
+    s.add_numeric_relations();
+    for (a, b) in [(0u32, 1), (1, 2), (2, 3), (1, 4), (4, 5), (5, 3), (3, 6)] {
+        s.insert("E", &[a, b]);
+    }
+    for i in 0..7u32 {
+        s.insert("Node", &[i]);
+    }
+    for i in [0u32, 2, 4, 6] {
+        s.insert("Mark", &[i]);
+    }
+    s
+}
+
+#[test]
+fn count_over_recursive_relation_agrees() {
+    // Reach grows over rounds and Deg counts it: the count literal reads a
+    // relation being derived, which is exactly the case the delta rewrite
+    // must *not* apply to. Unstratifiable (count through recursion is not),
+    // so inflationary and partial only.
+    let program = Program::new("Deg")
+        .rule(Rule::new("Reach", vec![v(0), v(1)], vec![pos("E", vec![v(0), v(1)])]))
+        .rule(Rule::new(
+            "Reach",
+            vec![v(0), v(2)],
+            vec![pos("Reach", vec![v(0), v(1)]), pos("E", vec![v(1), v(2)])],
+        ))
+        .rule(Rule::new(
+            "Deg",
+            vec![v(0), v(1)],
+            vec![
+                pos("Node", vec![v(0)]),
+                Literal::Count {
+                    relation: "Reach".into(),
+                    terms: vec![v(0), v(2)],
+                    counted: vec![2],
+                    result: v(1),
+                },
+            ],
+        ));
+    assert_engines_agree(
+        &program,
+        &fork_structure(),
+        &[Semantics::Inflationary, Semantics::Partial],
+        60,
+        "count over recursive Reach",
+    );
+}
+
+#[test]
+fn negation_inside_recursion_agrees_inflationarily() {
+    // Inflationary negation reads the frozen pre-round state, so the rounds'
+    // exact contents matter (this program is not stratifiable).
+    let program = Program::new("Odd")
+        .rule(Rule::new("Odd", vec![v(1)], vec![pos("E", vec![Term::Const(0), v(1)])]))
+        .rule(Rule::new(
+            "Odd",
+            vec![v(2)],
+            vec![
+                pos("Odd", vec![v(0)]),
+                pos("E", vec![v(0), v(1)]),
+                pos("E", vec![v(1), v(2)]),
+                neg("Odd", vec![v(1)]),
+            ],
+        ));
+    assert_engines_agree(
+        &program,
+        &fork_structure(),
+        &[Semantics::Inflationary, Semantics::Partial],
+        60,
+        "negation inside recursion",
+    );
+}
+
+#[test]
+fn divergent_partial_fixpoint_agrees() {
+    // Flip oscillates: both engines must report divergence (None), not hang
+    // or disagree.
+    let program = Program::new("Flip").rule(Rule::new(
+        "Flip",
+        vec![v(0)],
+        vec![pos("Node", vec![v(0)]), neg("Flip", vec![v(0)])],
+    ));
+    let mut s = Structure::new(3);
+    s.insert("Node", &[0]);
+    s.insert("Node", &[2]);
+    assert!(program.run(&s, Semantics::Partial, 50).is_none());
+    assert!(naive::run(&program, &s, Semantics::Partial, 50).is_none());
+}
+
+#[test]
+fn static_rules_and_empty_relations_agree() {
+    // Rules with no derived positive literal (evaluated once, in round 0),
+    // rules over never-declared relations, and nullary heads.
+    let program = Program::new("Out")
+        .rule(Rule::new(
+            "Marked",
+            vec![v(0)],
+            vec![pos("Node", vec![v(0)]), pos("Mark", vec![v(0)])],
+        ))
+        .rule(Rule::new(
+            "Lonely",
+            vec![v(0)],
+            vec![pos("Node", vec![v(0)]), neg("Ghost", vec![v(0)])],
+        ))
+        .rule(Rule::new("Out", vec![], vec![pos("Ghost", vec![v(0)])]))
+        .rule(Rule::new(
+            "Out2",
+            vec![],
+            vec![pos("Marked", vec![v(0)]), Literal::Neq(v(0), Term::Const(0))],
+        ));
+    assert_engines_agree(
+        &program,
+        &fork_structure(),
+        &ALL_MODES,
+        60,
+        "static rules / unknown relations",
+    );
+}
+
+/// Template-assembled random rule. Every template keeps the program
+/// range-restricted by construction, and the derived-relation dependency
+/// order (`D1` never reads `D0`/`Out`) keeps the stratifiable variant
+/// stratifiable.
+fn template_rule(idx: usize, c: u32, n: u32) -> Rule {
+    let k = Term::Const(c % n);
+    match idx {
+        0 => Rule::new("D1", vec![v(0), v(1)], vec![pos("B1", vec![v(0), v(1)])]),
+        1 => Rule::new(
+            "D1",
+            vec![v(0), v(2)],
+            vec![pos("D1", vec![v(0), v(1)]), pos("B1", vec![v(1), v(2)])],
+        ),
+        2 => Rule::new(
+            "D1",
+            vec![v(0), v(2)],
+            vec![pos("D1", vec![v(0), v(1)]), pos("D1", vec![v(1), v(2)])],
+        ),
+        3 => Rule::new("D1", vec![v(1), v(0)], vec![pos("B1", vec![v(0), v(1)])]),
+        4 => Rule::new("D0", vec![v(0)], vec![pos("B1", vec![v(0), v(1)])]),
+        5 => Rule::new("D0", vec![v(1)], vec![pos("D1", vec![v(0), v(1)]), pos("B0", vec![v(0)])]),
+        6 => {
+            Rule::new("D0", vec![v(1)], vec![pos("D1", vec![v(0), v(1)]), Literal::Neq(v(0), v(1))])
+        }
+        7 => Rule::new("D0", vec![v(0)], vec![pos("B0", vec![v(0)]), neg("D1", vec![v(0), v(0)])]),
+        8 => Rule::new("D0", vec![v(0)], vec![pos("B0", vec![v(0)]), neg("B1", vec![v(0), k])]),
+        9 => Rule::new("D1", vec![v(0), k], vec![pos("D1", vec![v(0), v(1)])]),
+        10 => Rule::new(
+            "Out",
+            vec![v(0)],
+            vec![
+                pos("B0", vec![v(0)]),
+                Literal::Count {
+                    relation: "D1".into(),
+                    terms: vec![v(0), v(1)],
+                    counted: vec![1],
+                    result: v(2),
+                },
+                pos("Even", vec![v(2)]),
+            ],
+        ),
+        11 => Rule::new(
+            "Out",
+            vec![v(0)],
+            vec![
+                pos("D0", vec![v(0)]),
+                Literal::Count {
+                    relation: "B1".into(),
+                    terms: vec![v(1), v(0)],
+                    counted: vec![1],
+                    result: Term::Const(c % 3),
+                },
+            ],
+        ),
+        12 => Rule::new(
+            "Out",
+            vec![v(0)],
+            vec![pos("D0", vec![v(0)]), pos("D1", vec![v(0), v(1)]), neg("D0", vec![v(1)])],
+        ),
+        _ => Rule::new("Out", vec![v(0)], vec![pos("D0", vec![v(0)]), Literal::Eq(v(0), k)]),
+    }
+}
+
+/// Additional inflationary-only templates: counting and negation through
+/// recursion (not stratifiable, but inflationary and partial semantics are
+/// defined for them — and they are the cases the delta rewrite must bail on).
+fn unstratifiable_template_rule(idx: usize, c: u32, n: u32) -> Rule {
+    let k = Term::Const(c % n);
+    match idx {
+        0 => Rule::new(
+            "D0",
+            vec![v(1)],
+            vec![pos("D0", vec![v(0)]), pos("B1", vec![v(0), v(1)]), neg("D0", vec![v(1)])],
+        ),
+        1 => Rule::new(
+            "D1",
+            vec![v(0), v(1)],
+            vec![
+                pos("D1", vec![v(0), v(1)]),
+                Literal::Count {
+                    relation: "D1".into(),
+                    terms: vec![v(0), v(2)],
+                    counted: vec![2],
+                    result: v(3),
+                },
+                pos("NumLess", vec![v(3), k]),
+            ],
+        ),
+        2 => Rule::new(
+            "D1",
+            vec![v(1), v(2)],
+            vec![
+                pos("D1", vec![v(0), v(1)]),
+                pos("B1", vec![v(1), v(2)]),
+                Literal::Count {
+                    relation: "D0".into(),
+                    terms: vec![v(3)],
+                    counted: vec![3],
+                    result: v(4),
+                },
+                pos("Even", vec![v(4)]),
+            ],
+        ),
+        _ => Rule::new("D0", vec![k], vec![pos("B0", vec![k])]),
+    }
+}
+
+/// A random input structure with binary `B1`, unary `B0`, and the numeric
+/// scaffolding counting programs need.
+fn random_structure() -> impl Strategy<Value = Structure> {
+    let edges = proptest::collection::vec((0u32..16, 0u32..16), 0..14);
+    let marks = proptest::collection::vec(0u32..16, 0..6);
+    (4usize..8, edges, marks).prop_map(|(n, edges, marks)| {
+        let mut s = Structure::new(n);
+        s.add_numeric_relations();
+        s.add_relation("B0", 1);
+        s.add_relation("B1", 2);
+        for (a, b) in edges {
+            s.insert("B1", &[a % n as u32, b % n as u32]);
+        }
+        for m in marks {
+            s.insert("B0", &[m % n as u32]);
+        }
+        s
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random stratifiable range-restricted programs: both engines must
+    /// produce identical structures under all three semantics.
+    #[test]
+    fn random_stratifiable_programs_agree(
+        input in random_structure(),
+        picks in proptest::collection::vec((0usize..14, 0u32..8), 1..7),
+    ) {
+        let n = input.domain_size() as u32;
+        let mut program = Program::new("Out");
+        for (idx, c) in picks {
+            program.rules.push(template_rule(idx, c, n));
+        }
+        for mode in ALL_MODES {
+            let fast = program.run(&input, mode, 40);
+            let slow = naive::run(&program, &input, mode, 40);
+            prop_assert_eq!(
+                fast, slow,
+                "engines diverged under {:?} on program {:?}", mode, program
+            );
+        }
+    }
+
+    /// Random programs with negation and counting *through recursion*: not
+    /// stratifiable, but the inflationary and partial semantics are defined
+    /// and the engines must agree round for round — these are exactly the
+    /// rules the delta rewrite must fall back to full re-evaluation on.
+    #[test]
+    fn random_unstratifiable_programs_agree(
+        input in random_structure(),
+        seeds in proptest::collection::vec((0usize..14, 0u32..8), 1..5),
+        recursive in proptest::collection::vec((0usize..4, 0u32..8), 1..4),
+    ) {
+        let n = input.domain_size() as u32;
+        let mut program = Program::new("Out");
+        for (idx, c) in seeds {
+            program.rules.push(template_rule(idx, c, n));
+        }
+        for (idx, c) in recursive {
+            program.rules.push(unstratifiable_template_rule(idx, c, n));
+        }
+        for mode in [Semantics::Inflationary, Semantics::Partial] {
+            let fast = program.run(&input, mode, 40);
+            let slow = naive::run(&program, &input, mode, 40);
+            prop_assert_eq!(
+                fast, slow,
+                "engines diverged under {:?} on program {:?}", mode, program
+            );
+        }
+    }
+}
