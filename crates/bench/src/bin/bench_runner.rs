@@ -10,10 +10,14 @@
 //! frozen pre-optimisation reference paths (`topo_core::top_naive`,
 //! `topo_core::canonical_code_naive`, `datalog::naive`), and writes the
 //! medians to a JSON file so every perf PR has a recorded trajectory to
-//! beat. `BENCH_5.json` at the repository root is the committed baseline
-//! (`BENCH_4.json`/`BENCH_3.json`/`BENCH_2.json` record the earlier
-//! trajectory; BENCHMARKS.md tabulates it); see DESIGN.md, "Performance",
-//! "Canonicalisation" and "Datalog engine".
+//! beat. A fourth stage throws the duplicate-heavy store mix at the
+//! concurrent [`InvariantStore`] from scoped threads — multi-threaded
+//! ingest throughput, then the same query sweep against a memoising store
+//! and the memo-disabled baseline. `BENCH_6.json` at the repository root is
+//! the committed baseline (`BENCH_5.json`/`BENCH_4.json`/`BENCH_3.json`/
+//! `BENCH_2.json` record the earlier trajectory; BENCHMARKS.md tabulates
+//! it); see DESIGN.md, "Performance", "Canonicalisation", "Datalog engine"
+//! and "Invariant store".
 //!
 //! ```text
 //! bench_runner [--quick] [--out PATH]
@@ -31,12 +35,15 @@
 //!     --bin bench_runner -- --quick --out BENCH_ci.json
 //! ```
 
+use std::time::Instant;
 use topo_bench::{median_ns, median_ns_with};
 use topo_core::relational::datalog::naive as datalog_naive;
+use topo_core::spatial::transform::AffineMap;
 use topo_core::{
-    datalog_program, Semantics, SpatialInstance, TopologicalInvariant, TopologicalQuery,
+    datalog_program, InvariantStore, Semantics, SpatialInstance, StoreConfig, TopologicalInvariant,
+    TopologicalQuery,
 };
-use topo_datagen::{ign_city, sequoia_hydro, sequoia_landcover, Scale};
+use topo_datagen::{figure1, ign_city, nested_rings, sequoia_hydro, sequoia_landcover, Scale};
 
 const FULL_SAMPLES: usize = 15;
 const QUICK_SAMPLES: usize = 5;
@@ -57,6 +64,15 @@ const CACHED_REPS: u32 = 1024;
 /// spending minutes per sample on it.
 const NAIVE_DATALOG_BUDGET_NS: u128 = 1_500_000_000;
 const NAIVE_DATALOG_BUDGET_QUICK_NS: u128 = 400_000_000;
+/// Store stage: ingest and query thread counts for the scoped-thread sweeps.
+const STORE_INGEST_THREADS: usize = 8;
+const STORE_QUERY_THREADS: usize = 8;
+/// Homeomorphic copies per base topology in the duplicate-heavy store mix.
+const STORE_COPIES: usize = 100;
+const STORE_COPIES_QUICK: usize = 20;
+/// Full passes over every (instance, query) pair each query thread makes.
+const STORE_QUERY_ROUNDS: usize = 2;
+const STORE_QUERY_ROUNDS_QUICK: usize = 1;
 
 struct ScaleReport {
     grid: usize,
@@ -327,6 +343,156 @@ fn measure_datalog(
     out
 }
 
+/// The invariant-store service stage: a duplicate-heavy mixed workload
+/// ingested and queried from scoped threads.
+struct StoreReport {
+    instances: usize,
+    classes: usize,
+    bases: usize,
+    ingest_threads: usize,
+    query_threads: usize,
+    ingest_ns: u128,
+    ingest_per_sec: f64,
+    /// Queries issued per sweep (threads × rounds × instances × mix size).
+    queries: u64,
+    memo_ns: u128,
+    memo_qps: f64,
+    memo_hit_rate: f64,
+    nomemo_ns: u128,
+    nomemo_qps: f64,
+    dedup_hits: u64,
+}
+
+impl StoreReport {
+    fn memo_speedup(&self) -> f64 {
+        self.memo_qps / self.nomemo_qps
+    }
+}
+
+/// The store mix: the three cartographic generators over two seeds and three
+/// small grids, plus the running examples, each repeated under `copies`
+/// homeomorphic images (translation / rotation / reflection round-robin).
+/// Copy-major order spreads the duplicates across the ingest stream, the way
+/// a service would see them arrive.
+fn store_workload(quick: bool) -> (usize, Vec<SpatialInstance>) {
+    let copies = if quick { STORE_COPIES_QUICK } else { STORE_COPIES };
+    let mut bases: Vec<SpatialInstance> = Vec::new();
+    for seed in [1u64, 7] {
+        for grid in [3usize, 4, 5] {
+            let scale = Scale { grid };
+            bases.push(sequoia_landcover(scale, seed));
+            bases.push(sequoia_hydro(scale, seed));
+            bases.push(ign_city(scale, seed));
+        }
+    }
+    bases.push(figure1());
+    bases.push(nested_rings(3, 2));
+    bases.push(nested_rings(2, 3));
+    let mut out = Vec::with_capacity(bases.len() * copies);
+    for k in 0..copies {
+        let shift = AffineMap::translation(k as i64 * 130_001, -(k as i64) * 70_003);
+        let map = match k % 4 {
+            1 => AffineMap::rotation90().compose(&shift),
+            2 => AffineMap::reflection_x().compose(&shift),
+            3 => AffineMap::rotation90().compose(&AffineMap::reflection_x()).compose(&shift),
+            _ => shift,
+        };
+        for base in &bases {
+            out.push(map.apply_instance(base));
+        }
+    }
+    (bases.len(), out)
+}
+
+/// One timed sweep: every query thread walks every (instance, query) pair
+/// `rounds` times, staggered so threads touch different keys at any moment.
+fn store_query_sweep(
+    store: &InvariantStore,
+    instances: usize,
+    queries: &[TopologicalQuery],
+    rounds: usize,
+) -> u128 {
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..STORE_QUERY_THREADS {
+            s.spawn(move || {
+                for _ in 0..rounds {
+                    for step in 0..instances {
+                        let id = (step + t * 101) % instances;
+                        for query in queries {
+                            std::hint::black_box(store.query(id, query));
+                        }
+                    }
+                }
+            });
+        }
+    });
+    start.elapsed().as_nanos()
+}
+
+/// Measures the store stage: multi-threaded ingest throughput (the full
+/// `top(I)` + canonicalisation + content-addressing pipeline per instance),
+/// then the same query sweep against a memoising store and the
+/// memo-disabled baseline — the speedup is what class-level memoisation
+/// buys on a duplicate-heavy mix.
+fn measure_store(quick: bool) -> StoreReport {
+    let (bases, instances) = store_workload(quick);
+    let queries = topo_bench::strategy_queries();
+    let rounds = if quick { STORE_QUERY_ROUNDS_QUICK } else { STORE_QUERY_ROUNDS };
+
+    let store = InvariantStore::default();
+    let chunk = instances.len().div_ceil(STORE_INGEST_THREADS);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for slice in instances.chunks(chunk) {
+            let store = &store;
+            s.spawn(move || {
+                for instance in slice {
+                    store.ingest(instance);
+                }
+            });
+        }
+    });
+    let ingest_ns = start.elapsed().as_nanos();
+
+    let memo_ns = store_query_sweep(&store, instances.len(), &queries, rounds);
+    let stats = store.stats();
+
+    // The baseline store deduplicates identically but answers every query by
+    // evaluating on the class representative (ingested untimed).
+    let baseline = InvariantStore::new(StoreConfig::without_memo());
+    std::thread::scope(|s| {
+        for slice in instances.chunks(chunk) {
+            let baseline = &baseline;
+            s.spawn(move || {
+                for instance in slice {
+                    baseline.ingest(instance);
+                }
+            });
+        }
+    });
+    let nomemo_ns = store_query_sweep(&baseline, instances.len(), &queries, rounds);
+
+    let queries_per_sweep = (STORE_QUERY_THREADS * rounds * instances.len() * queries.len()) as u64;
+    let per_sec = |count: u64, ns: u128| count as f64 / (ns as f64 / 1e9);
+    StoreReport {
+        instances: instances.len(),
+        classes: store.class_count(),
+        bases,
+        ingest_threads: STORE_INGEST_THREADS,
+        query_threads: STORE_QUERY_THREADS,
+        ingest_ns,
+        ingest_per_sec: per_sec(instances.len() as u64, ingest_ns),
+        queries: queries_per_sweep,
+        memo_ns,
+        memo_qps: per_sec(queries_per_sweep, memo_ns),
+        memo_hit_rate: stats.hit_rate(),
+        nomemo_ns,
+        nomemo_qps: per_sec(queries_per_sweep, nomemo_ns),
+        dedup_hits: stats.dedup_hits,
+    }
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -335,7 +501,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     // Quick mode never overwrites the committed 15-sample baseline unless
-    // the caller passes `--out BENCH_5.json` explicitly.
+    // the caller passes `--out BENCH_6.json` explicitly.
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -345,7 +511,7 @@ fn main() {
             if quick {
                 "BENCH_quick.json".to_string()
             } else {
-                "BENCH_5.json".to_string()
+                "BENCH_6.json".to_string()
             }
         });
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -363,18 +529,22 @@ fn main() {
 
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"id\": \"BENCH_5\",\n");
+    out.push_str("  \"id\": \"BENCH_6\",\n");
     out.push_str(
-        "  \"description\": \"top(I) construction, canonicalisation and datalog query \
-         evaluation: per-stage medians and speedups vs the frozen reference paths (naive \
-         seed arrangement + slow-mode rational arithmetic; PR 2 String canonical codes; \
-         pre-PR 5 naive datalog evaluator). canonical.first is a cold canonical_code() on \
-         a fresh invariant (the lazy streamed Lemma 3.1 sweep); cached/iso are per-call \
-         costs on warmed invariants; giant_component records the largest skeleton \
-         component and its start-choice pruning; the datalog section runs the query \
-         library's fixpoint programs (stratified) on invariant exports, semi-naive vs \
-         datalog::naive; samples objects record the sample counts actually used per \
-         median; naive medians are null where the reference path is intractable\",\n",
+        "  \"description\": \"top(I) construction, canonicalisation, datalog query \
+         evaluation and the concurrent invariant store: per-stage medians and speedups vs \
+         the frozen reference paths (naive seed arrangement + slow-mode rational \
+         arithmetic; PR 2 String canonical codes; pre-PR 5 naive datalog evaluator). \
+         canonical.first is a cold canonical_code() on a fresh invariant (the lazy \
+         streamed Lemma 3.1 sweep); cached/iso are per-call costs on warmed invariants; \
+         giant_component records the largest skeleton component and its start-choice \
+         pruning; the datalog section runs the query library's fixpoint programs \
+         (stratified) on invariant exports, semi-naive vs datalog::naive; the store \
+         section ingests a duplicate-heavy mix into the InvariantStore from scoped \
+         threads and runs one query sweep against the memoising store and one against \
+         the memo-disabled baseline (speedup = memo_qps / nomemo_qps); samples objects \
+         record the sample counts actually used per median; naive medians are null where \
+         the reference path is intractable\",\n",
     );
     out.push_str(&format!("  \"mode\": \"{}\",\n", if quick { "quick" } else { "full" }));
     out.push_str(&format!("  \"samples\": {samples},\n"));
@@ -524,6 +694,50 @@ fn main() {
         datalog_reports.push((name, scales));
     }
     out.push_str("    ]\n");
+    out.push_str("  },\n");
+
+    // The concurrent invariant-store stage.
+    eprintln!("== store stage ==");
+    let store = measure_store(quick);
+    eprintln!(
+        "  ingest  {:>6} instances ({} bases, {} classes) on {} threads: {:>12} ns  \
+         ({:.0} instances/sec, {} dedup hits)",
+        store.instances,
+        store.bases,
+        store.classes,
+        store.ingest_threads,
+        store.ingest_ns,
+        store.ingest_per_sec,
+        store.dedup_hits,
+    );
+    eprintln!(
+        "  query   {:>6} queries on {} threads: memo {:>12} ns ({:.0} q/s, hit rate {:.4})  \
+         no-memo {:>12} ns ({:.0} q/s)  memo speedup {:.1}x",
+        store.queries,
+        store.query_threads,
+        store.memo_ns,
+        store.memo_qps,
+        store.memo_hit_rate,
+        store.nomemo_ns,
+        store.nomemo_qps,
+        store.memo_speedup(),
+    );
+    out.push_str("  \"store\": {\n");
+    out.push_str(&format!("    \"instances\": {},\n", store.instances));
+    out.push_str(&format!("    \"bases\": {},\n", store.bases));
+    out.push_str(&format!("    \"classes\": {},\n", store.classes));
+    out.push_str(&format!("    \"dedup_hits\": {},\n", store.dedup_hits));
+    out.push_str(&format!("    \"ingest_threads\": {},\n", store.ingest_threads));
+    out.push_str(&format!("    \"query_threads\": {},\n", store.query_threads));
+    out.push_str(&format!("    \"ingest_ns\": {},\n", store.ingest_ns));
+    out.push_str(&format!("    \"ingest_instances_per_sec\": {:.1},\n", store.ingest_per_sec));
+    out.push_str(&format!("    \"queries_per_sweep\": {},\n", store.queries));
+    out.push_str(&format!("    \"memo_sweep_ns\": {},\n", store.memo_ns));
+    out.push_str(&format!("    \"memo_queries_per_sec\": {:.1},\n", store.memo_qps));
+    out.push_str(&format!("    \"memo_hit_rate\": {:.6},\n", store.memo_hit_rate));
+    out.push_str(&format!("    \"nomemo_sweep_ns\": {},\n", store.nomemo_ns));
+    out.push_str(&format!("    \"nomemo_queries_per_sec\": {:.1},\n", store.nomemo_qps));
+    out.push_str(&format!("    \"memo_speedup\": {:.2}\n", store.memo_speedup()));
     out.push_str("  }\n}\n");
 
     std::fs::write(&out_path, &out).expect("write benchmark baseline");

@@ -14,7 +14,10 @@
 //!   [`evaluate_on_invariant`]), including through real fixpoint /
 //!   fixpoint+counting programs run by the relational engine,
 //! * translate topological first-order spatial queries into invariant-side
-//!   queries (crate `topo-translate`, re-exported as [`translate`]).
+//!   queries (crate `topo-translate`, re-exported as [`translate`]),
+//! * serve many instances and many queries concurrently through the
+//!   deduplicating, memoising [`InvariantStore`] (crate `topo-store`,
+//!   re-exported as [`store`]).
 //!
 //! ## Quick start
 //!
@@ -45,6 +48,7 @@ pub use topo_invariant as invariant;
 pub use topo_queries as queries;
 pub use topo_relational as relational;
 pub use topo_spatial as spatial;
+pub use topo_store as store;
 pub use topo_translate as translate;
 
 pub use topo_geometry::{Point, Rational};
@@ -60,6 +64,7 @@ pub use topo_queries::{
 };
 pub use topo_relational::{Formula, Program, Semantics, Structure};
 pub use topo_spatial::{PointFormula, RealFormula, Region, RegionId, Schema, SpatialInstance};
+pub use topo_store::{ClassId, InstanceId, InvariantStore, StoreConfig, StoreStats};
 
 #[cfg(test)]
 mod tests {

@@ -7,6 +7,7 @@
 //! [`crate::programs`] simulate).
 
 use crate::library::TopologicalQuery;
+use std::borrow::Borrow;
 use std::collections::HashMap;
 use topo_invariant::{CellKind, CodeHash, TopologicalInvariant};
 use topo_spatial::RegionId;
@@ -211,15 +212,19 @@ fn cells_in_both(
 /// members of one class answer every [`TopologicalQuery`] identically; this
 /// is the primitive that makes consistency-style query answering over many
 /// candidate instances tractable.
-pub fn isomorphism_classes(invariants: &[&TopologicalInvariant]) -> Vec<Vec<usize>> {
+///
+/// Generic over any owned-or-borrowed invariant holder (`&T`, `Arc<T>`,
+/// `Box<T>`, `T` itself), so callers that keep shared `Arc`s — like
+/// `topo-store` — classify without cloning a single invariant.
+pub fn isomorphism_classes<I: Borrow<TopologicalInvariant>>(invariants: &[I]) -> Vec<Vec<usize>> {
     let mut classes: Vec<Vec<usize>> = Vec::new();
     let mut by_hash: HashMap<CodeHash, Vec<usize>> = HashMap::new();
     for (i, invariant) in invariants.iter().enumerate() {
+        let invariant = invariant.borrow();
         let candidates = by_hash.entry(invariant.code_hash()).or_default();
-        let class = candidates
-            .iter()
-            .copied()
-            .find(|&c| invariants[classes[c][0]].canonical_code() == invariant.canonical_code());
+        let class = candidates.iter().copied().find(|&c| {
+            invariants[classes[c][0]].borrow().canonical_code() == invariant.canonical_code()
+        });
         match class {
             Some(c) => classes[c].push(i),
             None => {
@@ -234,13 +239,14 @@ pub fn isomorphism_classes(invariants: &[&TopologicalInvariant]) -> Vec<Vec<usiz
 /// Evaluates a query on many invariants, once per isomorphism class: the
 /// cached canonical codes group the invariants, the query runs on one
 /// representative per class, and the answer is shared across the class.
-pub fn evaluate_on_classes(
+/// Accepts the same owned-or-borrowed holders as [`isomorphism_classes`].
+pub fn evaluate_on_classes<I: Borrow<TopologicalInvariant>>(
     query: &TopologicalQuery,
-    invariants: &[&TopologicalInvariant],
+    invariants: &[I],
 ) -> Vec<bool> {
     let mut answers = vec![false; invariants.len()];
     for class in isomorphism_classes(invariants) {
-        let answer = evaluate_on_invariant(query, invariants[class[0]]);
+        let answer = evaluate_on_invariant(query, invariants[class[0]].borrow());
         for i in class {
             answers[i] = answer;
         }

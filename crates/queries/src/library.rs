@@ -7,8 +7,10 @@ use topo_spatial::RegionId;
 /// Every variant is invariant under plane homeomorphisms, so by Theorem 2.1
 /// it can be answered on the topological invariant alone; the first five are
 /// first-order (they appear, in one form or another, in the paper's examples),
-/// the remaining ones need recursion (fixpoint) or counting.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// the remaining ones need recursion (fixpoint) or counting. Queries hash
+/// cheaply, so they can key memo tables such as `topo-store`'s
+/// per-(class, query) cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum TopologicalQuery {
     /// The two regions share at least one point.
     Intersects(RegionId, RegionId),

@@ -1,0 +1,530 @@
+//! # topo-store — a concurrent invariant store and query service
+//!
+//! The rest of the workspace answers one query on one instance: build
+//! `top(I)`, evaluate. This crate turns that one-shot pipeline into a
+//! long-lived, thread-safe service in the spirit of the paper's
+//! practical-considerations section: many clients ingest many spatial
+//! instances and ask many queries, and the store makes the whole mix cost
+//! one canonicalisation per instance plus one evaluation per
+//! *(isomorphism class, query)* pair.
+//!
+//! Three ideas carry the design:
+//!
+//! * **Content addressing by canonical code.** Every ingested instance is
+//!   reduced to its topological invariant, and the invariant's cached
+//!   [`CodeHash`] is used as a content address: equal hashes nominate a
+//!   candidate class, and a full (cached, cheap) canonical-code comparison
+//!   via [`TopologicalInvariant::is_isomorphic_to`] confirms or refutes it.
+//!   By Theorem 2.1 members of one class answer every topological query
+//!   identically, so the store keeps a single shared-immutable
+//!   `Arc<TopologicalInvariant>` representative per class and never clones
+//!   an invariant.
+//! * **Per-(class, query) memoisation.** Query answers are memoised in a
+//!   sharded `RwLock` map keyed by `(ClassId, TopologicalQuery)`. Reads are
+//!   copy-free (a `bool` out of a read-locked shard); misses evaluate on the
+//!   class representative *outside* any lock, so a slow evaluation never
+//!   blocks readers of other keys — at worst two racing threads compute the
+//!   same answer once each.
+//! * **Bounded memory.** The memo is capacity-bounded with an LRU-ish
+//!   policy: every hit stamps the entry with a global tick, and a full shard
+//!   evicts its least-recently-used entry. Evicting is always safe — a
+//!   re-miss just re-evaluates on the representative, so answers are stable
+//!   across eviction pressure (the stress tests pin this down).
+//!
+//! The store's whole value claim is "same answers as running the pipeline
+//! per instance, under concurrency"; `tests/store_equivalence.rs` and
+//! `tests/store_stress.rs` at the workspace root prove every behaviour
+//! against the `isomorphism_classes` / `evaluate_on_classes` and frozen
+//! `naive-reference` oracles, including under multi-threaded load.
+//!
+//! ```
+//! use topo_spatial::{Region, SpatialInstance};
+//! use topo_store::InvariantStore;
+//!
+//! let store = InvariantStore::default();
+//! let disk = SpatialInstance::from_regions([("a", Region::rectangle(0, 0, 10, 10))]);
+//! let far = SpatialInstance::from_regions([("a", Region::rectangle(500, 0, 510, 10))]);
+//! let a = store.ingest(&disk);
+//! let b = store.ingest(&far); // topologically the same disk: deduplicated
+//! assert_eq!(store.class_of(a), store.class_of(b));
+//! let q = topo_queries::TopologicalQuery::IsConnected(0);
+//! assert_eq!(store.query(a, &q), Some(true));
+//! assert_eq!(store.query(b, &q), Some(true)); // memo hit: no re-evaluation
+//! assert_eq!(store.stats().memo_hits, 1);
+//! ```
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use topo_invariant::{top, CodeHash, TopologicalInvariant};
+use topo_queries::{evaluate_on_invariant, TopologicalQuery};
+use topo_spatial::SpatialInstance;
+
+/// Identifier of an ingested instance, assigned densely in ingest order.
+pub type InstanceId = usize;
+
+/// Identifier of an isomorphism class, assigned densely in order of first
+/// appearance.
+pub type ClassId = usize;
+
+/// Tuning knobs of an [`InvariantStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Total number of memoised `(class, query)` answers kept across all
+    /// shards; `0` disables memoisation entirely (every query evaluates on
+    /// the class representative — the baseline the benchmarks compare
+    /// against).
+    pub memo_capacity: usize,
+    /// Number of independent `RwLock` shards the memo is split over; more
+    /// shards mean less write contention under concurrent misses.
+    pub memo_shards: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig { memo_capacity: 4096, memo_shards: 16 }
+    }
+}
+
+impl StoreConfig {
+    /// A configuration with memoisation disabled: every query evaluates on
+    /// its class representative. Class-level deduplication still applies.
+    pub fn without_memo() -> Self {
+        StoreConfig { memo_capacity: 0, ..StoreConfig::default() }
+    }
+}
+
+/// A point-in-time snapshot of the store's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Instances ingested so far.
+    pub instances: usize,
+    /// Distinct isomorphism classes so far.
+    pub classes: usize,
+    /// Memoised answers currently held (≤ the configured capacity).
+    pub memo_entries: usize,
+    /// Queries answered from the memo.
+    pub memo_hits: u64,
+    /// Queries that had to evaluate on a class representative.
+    pub memo_misses: u64,
+    /// Memo entries evicted by the capacity bound.
+    pub memo_evictions: u64,
+    /// Ingests that landed in an existing class (deduplicated instances).
+    pub dedup_hits: u64,
+    /// Candidate classes nominated by an equal [`CodeHash`] but refuted by
+    /// the full canonical-code comparison (genuine 64-bit digest
+    /// collisions; expected to stay 0 in practice).
+    pub hash_collisions: u64,
+}
+
+impl StoreStats {
+    /// Fraction of queries answered from the memo, in `[0, 1]` (`0` when no
+    /// query has been asked yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.memo_hits + self.memo_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / total as f64
+        }
+    }
+}
+
+/// One memoised answer; `last_used` is an atomic so a read-locked hit can
+/// still refresh the LRU stamp.
+struct MemoEntry {
+    answer: bool,
+    last_used: AtomicU64,
+}
+
+#[derive(Default)]
+struct MemoShard {
+    map: HashMap<(ClassId, TopologicalQuery), MemoEntry>,
+}
+
+/// The class table: content address → candidate classes, plus the shared
+/// representative and the member list of every class. Kept behind one
+/// `RwLock` so a partition snapshot is always internally consistent.
+#[derive(Default)]
+struct ClassTable {
+    by_hash: HashMap<CodeHash, Vec<ClassId>>,
+    reps: Vec<Arc<TopologicalInvariant>>,
+    members: Vec<Vec<InstanceId>>,
+}
+
+/// A concurrent, in-memory store of topological invariants, deduplicated
+/// into isomorphism classes and memoising query answers per class.
+///
+/// All methods take `&self`; the store is `Sync` and is designed to be
+/// shared across threads (e.g. by reference from `std::thread::scope`, or
+/// behind an `Arc`). See the [crate docs](crate) for the locking story.
+pub struct InvariantStore {
+    config: StoreConfig,
+    classes: RwLock<ClassTable>,
+    /// `InstanceId → ClassId`, append-only.
+    instances: RwLock<Vec<ClassId>>,
+    memo: Vec<RwLock<MemoShard>>,
+    clock: AtomicU64,
+    memo_hits: AtomicU64,
+    memo_misses: AtomicU64,
+    memo_evictions: AtomicU64,
+    dedup_hits: AtomicU64,
+    hash_collisions: AtomicU64,
+}
+
+impl Default for InvariantStore {
+    fn default() -> Self {
+        Self::new(StoreConfig::default())
+    }
+}
+
+impl InvariantStore {
+    /// Creates an empty store with the given configuration.
+    pub fn new(config: StoreConfig) -> Self {
+        let shards = config.memo_shards.max(1);
+        InvariantStore {
+            config,
+            classes: RwLock::new(ClassTable::default()),
+            instances: RwLock::new(Vec::new()),
+            memo: (0..shards).map(|_| RwLock::new(MemoShard::default())).collect(),
+            clock: AtomicU64::new(0),
+            memo_hits: AtomicU64::new(0),
+            memo_misses: AtomicU64::new(0),
+            memo_evictions: AtomicU64::new(0),
+            dedup_hits: AtomicU64::new(0),
+            hash_collisions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration the store was created with.
+    pub fn config(&self) -> StoreConfig {
+        self.config
+    }
+
+    // ----- ingest ------------------------------------------------------------
+
+    /// Ingests a spatial instance: builds its invariant (the expensive part,
+    /// outside every lock) and content-addresses it into an isomorphism
+    /// class. Returns the dense id assigned to the instance.
+    pub fn ingest(&self, instance: &SpatialInstance) -> InstanceId {
+        self.ingest_invariant(Arc::new(top(instance)))
+    }
+
+    /// Ingests an already-built invariant without copying it: the `Arc` is
+    /// stored as the class representative if it opens a new class, and
+    /// dropped (the class keeps its first representative) if it joins an
+    /// existing one.
+    pub fn ingest_invariant(&self, invariant: Arc<TopologicalInvariant>) -> InstanceId {
+        // Canonicalise before taking any lock: the first code computation is
+        // the expensive step, and it is cached on the invariant itself, so
+        // the locked section below only compares cached codes.
+        let hash = invariant.code_hash();
+        invariant.canonical_code();
+        // Lock order everywhere both are held: `classes` before `instances`.
+        let mut classes = self.classes.write().expect("class table lock");
+        let class = match self.locate_class(&classes, hash, &invariant) {
+            Some(class) => {
+                self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                class
+            }
+            None => {
+                let class = classes.reps.len();
+                classes.reps.push(invariant);
+                classes.members.push(Vec::new());
+                classes.by_hash.entry(hash).or_default().push(class);
+                class
+            }
+        };
+        let mut instances = self.instances.write().expect("instance table lock");
+        let id = instances.len();
+        instances.push(class);
+        classes.members[class].push(id);
+        id
+    }
+
+    /// Finds the class an invariant belongs to, if any: hash nomination plus
+    /// cached-code confirmation. Counts refuted nominations as collisions.
+    fn locate_class(
+        &self,
+        classes: &ClassTable,
+        hash: CodeHash,
+        invariant: &TopologicalInvariant,
+    ) -> Option<ClassId> {
+        let candidates = classes.by_hash.get(&hash)?;
+        for &candidate in candidates {
+            if classes.reps[candidate].is_isomorphic_to(invariant) {
+                return Some(candidate);
+            }
+            self.hash_collisions.fetch_add(1, Ordering::Relaxed);
+        }
+        None
+    }
+
+    // ----- query -------------------------------------------------------------
+
+    /// Answers a query for an ingested instance, or `None` for an unknown
+    /// id. Members of one class share one memoised answer.
+    pub fn query(&self, instance: InstanceId, query: &TopologicalQuery) -> Option<bool> {
+        let class = *self.instances.read().expect("instance table lock").get(instance)?;
+        Some(self.query_class_inner(class, query))
+    }
+
+    /// Answers a query for a whole class, or `None` for an unknown class id.
+    pub fn query_class(&self, class: ClassId, query: &TopologicalQuery) -> Option<bool> {
+        let known = class < self.classes.read().expect("class table lock").reps.len();
+        known.then(|| self.query_class_inner(class, query))
+    }
+
+    /// Answers a query for every ingested instance, in instance order — the
+    /// service-side analogue of `topo_queries::evaluate_on_classes` (each
+    /// class evaluates at most once, then every member shares the answer).
+    pub fn query_all(&self, query: &TopologicalQuery) -> Vec<bool> {
+        let assignment: Vec<ClassId> = self.instances.read().expect("instance table lock").clone();
+        let mut per_class: HashMap<ClassId, bool> = HashMap::new();
+        assignment
+            .into_iter()
+            .map(|class| {
+                *per_class.entry(class).or_insert_with(|| self.query_class_inner(class, query))
+            })
+            .collect()
+    }
+
+    fn query_class_inner(&self, class: ClassId, query: &TopologicalQuery) -> bool {
+        if self.config.memo_capacity == 0 {
+            self.memo_misses.fetch_add(1, Ordering::Relaxed);
+            return evaluate_on_invariant(query, &self.representative(class));
+        }
+        let shard = &self.memo[self.shard_of(class, query)];
+        if let Some(entry) = shard.read().expect("memo shard lock").map.get(&(class, *query)) {
+            entry.last_used.store(self.clock.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+            self.memo_hits.fetch_add(1, Ordering::Relaxed);
+            return entry.answer;
+        }
+        self.memo_misses.fetch_add(1, Ordering::Relaxed);
+        // Evaluate on the shared-immutable representative outside any lock:
+        // racing threads at worst duplicate this evaluation, and both write
+        // the same answer below.
+        let answer = evaluate_on_invariant(query, &self.representative(class));
+        let mut shard = shard.write().expect("memo shard lock");
+        let capacity = self.shard_capacity();
+        if shard.map.len() >= capacity && !shard.map.contains_key(&(class, *query)) {
+            // LRU-ish eviction: drop the shard's least-recently-stamped
+            // entry. Shards are small (capacity / shards), so the scan is
+            // cheap relative to the evaluation that preceded it.
+            if let Some(oldest) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| *k)
+            {
+                shard.map.remove(&oldest);
+                self.memo_evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.map.insert(
+            (class, *query),
+            MemoEntry {
+                answer,
+                last_used: AtomicU64::new(self.clock.fetch_add(1, Ordering::Relaxed)),
+            },
+        );
+        answer
+    }
+
+    fn representative(&self, class: ClassId) -> Arc<TopologicalInvariant> {
+        self.classes.read().expect("class table lock").reps[class].clone()
+    }
+
+    fn shard_of(&self, class: ClassId, query: &TopologicalQuery) -> usize {
+        let mut hasher = DefaultHasher::new();
+        class.hash(&mut hasher);
+        query.hash(&mut hasher);
+        (hasher.finish() as usize) % self.memo.len()
+    }
+
+    fn shard_capacity(&self) -> usize {
+        (self.config.memo_capacity / self.memo.len()).max(1)
+    }
+
+    // ----- inspection --------------------------------------------------------
+
+    /// Number of instances ingested so far.
+    pub fn instance_count(&self) -> usize {
+        self.instances.read().expect("instance table lock").len()
+    }
+
+    /// Number of distinct isomorphism classes so far.
+    pub fn class_count(&self) -> usize {
+        self.classes.read().expect("class table lock").reps.len()
+    }
+
+    /// The class an instance was deduplicated into, or `None` for an unknown
+    /// id.
+    pub fn class_of(&self, instance: InstanceId) -> Option<ClassId> {
+        self.instances.read().expect("instance table lock").get(instance).copied()
+    }
+
+    /// The shared representative invariant of a class. The `Arc` is the very
+    /// allocation ingested first into the class — the store never deep-copies
+    /// an invariant.
+    pub fn class_representative(&self, class: ClassId) -> Option<Arc<TopologicalInvariant>> {
+        self.classes.read().expect("class table lock").reps.get(class).cloned()
+    }
+
+    /// The members of a class in ingest order, or `None` for an unknown id.
+    pub fn class_members(&self, class: ClassId) -> Option<Vec<InstanceId>> {
+        self.classes.read().expect("class table lock").members.get(class).cloned()
+    }
+
+    /// A consistent snapshot of the partition of all ingested instances into
+    /// isomorphism classes, in order of first appearance — the same shape
+    /// (and, for single-threaded ingest, the same value) as
+    /// `topo_queries::isomorphism_classes` on the ingested invariants.
+    pub fn classes(&self) -> Vec<Vec<InstanceId>> {
+        self.classes.read().expect("class table lock").members.clone()
+    }
+
+    /// Drops every memoised answer (counters are kept). Queries re-evaluate
+    /// and re-fill the memo afterwards; answers are unaffected.
+    pub fn clear_memo(&self) {
+        for shard in &self.memo {
+            shard.write().expect("memo shard lock").map.clear();
+        }
+    }
+
+    /// A snapshot of the store's counters.
+    pub fn stats(&self) -> StoreStats {
+        let memo_entries =
+            self.memo.iter().map(|s| s.read().expect("memo shard lock").map.len()).sum();
+        StoreStats {
+            instances: self.instance_count(),
+            classes: self.class_count(),
+            memo_entries,
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            memo_misses: self.memo_misses.load(Ordering::Relaxed),
+            memo_evictions: self.memo_evictions.load(Ordering::Relaxed),
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+            hash_collisions: self.hash_collisions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topo_spatial::Region;
+
+    fn disk(x: i64) -> SpatialInstance {
+        SpatialInstance::from_regions([("a", Region::rectangle(x, 0, x + 10, 10))])
+    }
+
+    fn annulus() -> SpatialInstance {
+        let mut region = Region::rectangle(0, 0, 100, 100);
+        region.add_ring(vec![
+            topo_geometry::Point::from_ints(30, 30),
+            topo_geometry::Point::from_ints(70, 30),
+            topo_geometry::Point::from_ints(70, 70),
+            topo_geometry::Point::from_ints(30, 70),
+        ]);
+        SpatialInstance::from_regions([("a", region)])
+    }
+
+    #[test]
+    fn deduplicates_and_memoises() {
+        let store = InvariantStore::default();
+        let a = store.ingest(&disk(0));
+        let b = store.ingest(&disk(500));
+        let c = store.ingest(&annulus());
+        assert_eq!(store.instance_count(), 3);
+        assert_eq!(store.class_count(), 2);
+        assert_eq!(store.class_of(a), store.class_of(b));
+        assert_ne!(store.class_of(a), store.class_of(c));
+        assert_eq!(store.classes(), vec![vec![a, b], vec![c]]);
+
+        let q = TopologicalQuery::HasHole(0);
+        assert_eq!(store.query(a, &q), Some(false));
+        assert_eq!(store.query(b, &q), Some(false)); // same class: memo hit
+        assert_eq!(store.query(c, &q), Some(true));
+        assert_eq!(store.query(99, &q), None);
+        let stats = store.stats();
+        assert_eq!(stats.dedup_hits, 1);
+        assert_eq!(stats.memo_misses, 2);
+        assert_eq!(stats.memo_hits, 1);
+        assert_eq!(stats.memo_entries, 2);
+        assert_eq!(stats.hash_collisions, 0);
+        assert_eq!(stats.hit_rate(), 1.0 / 3.0);
+    }
+
+    #[test]
+    fn ingest_invariant_shares_the_allocation() {
+        let store = InvariantStore::default();
+        let invariant = Arc::new(top(&disk(0)));
+        let id = store.ingest_invariant(invariant.clone());
+        let class = store.class_of(id).unwrap();
+        let rep = store.class_representative(class).unwrap();
+        assert!(Arc::ptr_eq(&rep, &invariant), "the store must not copy the invariant");
+        // A duplicate keeps the first representative.
+        let dup = Arc::new(top(&disk(700)));
+        store.ingest_invariant(dup.clone());
+        let rep = store.class_representative(class).unwrap();
+        assert!(Arc::ptr_eq(&rep, &invariant));
+    }
+
+    #[test]
+    fn eviction_respects_capacity_and_preserves_answers() {
+        let store = InvariantStore::new(StoreConfig { memo_capacity: 2, memo_shards: 1 });
+        let a = store.ingest(&disk(0));
+        let queries = [
+            TopologicalQuery::HasHole(0),
+            TopologicalQuery::IsConnected(0),
+            TopologicalQuery::ComponentCountEven(0),
+            TopologicalQuery::Intersects(0, 0),
+        ];
+        let first: Vec<_> = queries.iter().map(|q| store.query(a, q).unwrap()).collect();
+        let stats = store.stats();
+        assert!(stats.memo_entries <= 2, "capacity bound violated: {stats:?}");
+        assert!(stats.memo_evictions >= 2);
+        // Under continued pressure, answers stay stable.
+        let second: Vec<_> = queries.iter().map(|q| store.query(a, q).unwrap()).collect();
+        assert_eq!(first, second);
+        assert_eq!(first, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn memo_disabled_always_evaluates() {
+        let store = InvariantStore::new(StoreConfig::without_memo());
+        let a = store.ingest(&disk(0));
+        let q = TopologicalQuery::IsConnected(0);
+        assert_eq!(store.query(a, &q), Some(true));
+        assert_eq!(store.query(a, &q), Some(true));
+        let stats = store.stats();
+        assert_eq!(stats.memo_hits, 0);
+        assert_eq!(stats.memo_misses, 2);
+        assert_eq!(stats.memo_entries, 0);
+    }
+
+    #[test]
+    fn clear_memo_keeps_answers() {
+        let store = InvariantStore::default();
+        let a = store.ingest(&annulus());
+        let q = TopologicalQuery::HasHole(0);
+        assert_eq!(store.query(a, &q), Some(true));
+        store.clear_memo();
+        assert_eq!(store.stats().memo_entries, 0);
+        assert_eq!(store.query(a, &q), Some(true));
+    }
+
+    #[test]
+    fn query_all_matches_per_instance_queries() {
+        let store = InvariantStore::default();
+        let ids = [store.ingest(&disk(0)), store.ingest(&annulus()), store.ingest(&disk(300))];
+        let q = TopologicalQuery::HasHole(0);
+        let all = store.query_all(&q);
+        for (&id, &answer) in ids.iter().zip(all.iter()) {
+            assert_eq!(store.query(id, &q), Some(answer));
+        }
+        assert_eq!(all, vec![false, true, false]);
+    }
+}

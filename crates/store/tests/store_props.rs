@@ -1,0 +1,244 @@
+//! Property tests: the store's observable state — the pair (class partition,
+//! query answers) — is a pure function of the ingested multiset of
+//! topologies. Neither the ingestion order, nor the query order, nor the memo
+//! configuration (including an eviction-heavy tiny capacity and the disabled
+//! baseline) may change it, and it must always match the
+//! `isomorphism_classes` / `evaluate_on_classes` oracles.
+//!
+//! With the `naive-reference` feature the partition is additionally checked
+//! against the frozen pre-optimisation reference codes
+//! (`canonical_code_naive`); CI runs the suite both ways.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use topo_geometry::Point;
+use topo_invariant::{top, TopologicalInvariant};
+use topo_queries::{
+    evaluate_on_classes, evaluate_on_invariant, isomorphism_classes, TopologicalQuery,
+};
+use topo_spatial::{Region, SpatialInstance};
+use topo_store::{InvariantStore, StoreConfig};
+
+/// The query mix every property runs: all library shapes over the two
+/// regions of the random instances.
+fn query_mix() -> Vec<TopologicalQuery> {
+    use TopologicalQuery as Q;
+    vec![
+        Q::Intersects(0, 1),
+        Q::Disjoint(0, 1),
+        Q::Contains(0, 1),
+        Q::Equal(0, 1),
+        Q::BoundaryOnlyIntersection(0, 1),
+        Q::InteriorsOverlap(0, 1),
+        Q::IsConnected(0),
+        Q::IsConnected(1),
+        Q::ComponentCountEven(0),
+        Q::HasHole(0),
+        Q::HasHole(1),
+    ]
+}
+
+/// A small random instance of rectangles and isolated points over two
+/// regions (the same shape as the canonicalisation property tests).
+fn small_instance() -> impl Strategy<Value = SpatialInstance> {
+    let rect = (0i64..6, 0i64..6, 1i64..4, 1i64..4)
+        .prop_map(|(x, y, w, h)| (x * 100, y * 100, x * 100 + w * 60, y * 100 + h * 60));
+    let rects = proptest::collection::vec(rect, 1..4);
+    let points = proptest::collection::vec((0i64..40, 0i64..40), 0..3);
+    (rects, points).prop_map(|(rects, points)| {
+        let mut a = Region::new();
+        let mut b = Region::new();
+        for (i, (x0, y0, x1, y1)) in rects.into_iter().enumerate() {
+            let ring = vec![
+                Point::from_ints(x0, y0),
+                Point::from_ints(x1, y0),
+                Point::from_ints(x1, y1),
+                Point::from_ints(x0, y1),
+            ];
+            if i % 2 == 0 {
+                a.add_ring(ring);
+            } else {
+                b.add_ring(ring);
+            }
+        }
+        for (x, y) in points {
+            b.add_point(Point::from_ints(x, y));
+        }
+        SpatialInstance::from_regions([("A", a), ("B", b)])
+    })
+}
+
+/// A random batch with deliberate hash-equal duplicates: three base
+/// instances plus a translated copy of each (topologically identical, so
+/// each must land in its base's class).
+fn batch() -> impl Strategy<Value = Vec<SpatialInstance>> {
+    let bases = (small_instance(), small_instance(), small_instance());
+    (bases, -500i64..500, -500i64..500).prop_map(|((a, b, c), dx, dy)| {
+        let map = topo_spatial::transform::AffineMap::translation(dx, dy);
+        let moved = [map.apply_instance(&a), map.apply_instance(&b), map.apply_instance(&c)];
+        let mut out = vec![a, b, c];
+        out.extend(moved);
+        out
+    })
+}
+
+/// A deterministic Fisher–Yates permutation of `0..n` from a seed.
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    for i in (1..n).rev() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        order.swap(i, j);
+    }
+    order
+}
+
+/// Normalises a partition (classes of original indices) for comparison:
+/// members sorted within classes, classes sorted by first member.
+fn normalised(mut classes: Vec<Vec<usize>>) -> Vec<Vec<usize>> {
+    for class in &mut classes {
+        class.sort_unstable();
+    }
+    classes.sort();
+    classes
+}
+
+/// The store's partition with members mapped back to original indices via
+/// the ingest order (`order[position] = original index`).
+fn store_partition(store: &InvariantStore, order: &[usize]) -> Vec<Vec<usize>> {
+    normalised(
+        store
+            .classes()
+            .into_iter()
+            .map(|class| class.into_iter().map(|position| order[position]).collect())
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Ingestion order never changes the observable (class set, answers)
+    /// state, and both match the slice-level oracles.
+    #[test]
+    fn ingest_order_is_unobservable(
+        instances in batch(),
+        seed in 0u64..1_000_000,
+    ) {
+        let invariants: Vec<Arc<TopologicalInvariant>> =
+            instances.iter().map(|i| Arc::new(top(i))).collect();
+        let identity: Vec<usize> = (0..invariants.len()).collect();
+        let order = permutation(invariants.len(), seed);
+
+        let straight = InvariantStore::default();
+        for invariant in &invariants {
+            straight.ingest_invariant(invariant.clone());
+        }
+        let shuffled = InvariantStore::default();
+        for &i in &order {
+            shuffled.ingest_invariant(invariants[i].clone());
+        }
+
+        // Same class set either way, equal to the oracle partition.
+        let oracle = normalised(isomorphism_classes(&invariants));
+        prop_assert_eq!(&store_partition(&straight, &identity), &oracle);
+        prop_assert_eq!(&store_partition(&shuffled, &order), &oracle);
+
+        // Same answers either way, equal to both oracles. The translated
+        // copies share their base's class, so the answers agree pairwise by
+        // construction of the batch.
+        let mut position_of = vec![0usize; invariants.len()];
+        for (position, &original) in order.iter().enumerate() {
+            position_of[original] = position;
+        }
+        for query in query_mix() {
+            let by_class = evaluate_on_classes(&query, &invariants);
+            for (i, invariant) in invariants.iter().enumerate() {
+                let expected = evaluate_on_invariant(&query, invariant);
+                prop_assert_eq!(by_class[i], expected);
+                prop_assert_eq!(straight.query(i, &query), Some(expected));
+                prop_assert_eq!(shuffled.query(position_of[i], &query), Some(expected));
+            }
+        }
+    }
+
+    /// Neither the query order nor the memo configuration (ample capacity,
+    /// eviction-heavy tiny capacity, disabled) changes any answer.
+    #[test]
+    fn query_order_and_memo_config_are_unobservable(
+        instances in batch(),
+        seed in 0u64..1_000_000,
+    ) {
+        let invariants: Vec<Arc<TopologicalInvariant>> =
+            instances.iter().map(|i| Arc::new(top(i))).collect();
+        let configs = [
+            StoreConfig::default(),
+            StoreConfig { memo_capacity: 2, memo_shards: 1 },
+            StoreConfig::without_memo(),
+        ];
+        let queries = query_mix();
+        let pairs: Vec<(usize, usize)> = (0..invariants.len())
+            .flat_map(|i| (0..queries.len()).map(move |q| (i, q)))
+            .collect();
+        let shuffle = permutation(pairs.len(), seed);
+        let mut baseline: Option<Vec<bool>> = None;
+        for config in configs {
+            let store = InvariantStore::new(config);
+            for invariant in &invariants {
+                store.ingest_invariant(invariant.clone());
+            }
+            // First pass in permuted order, second pass straight: repeated
+            // queries (memo hits, re-evaluations after eviction, or the
+            // disabled path) must reproduce the first-pass answers.
+            let mut answers = vec![false; pairs.len()];
+            for &p in &shuffle {
+                let (i, q) = pairs[p];
+                answers[p] = store.query(i, &queries[q]).expect("known instance");
+            }
+            for (p, &(i, q)) in pairs.iter().enumerate() {
+                prop_assert_eq!(store.query(i, &queries[q]), Some(answers[p]));
+            }
+            match &baseline {
+                None => baseline = Some(answers),
+                Some(expected) => prop_assert_eq!(&answers, expected),
+            }
+        }
+    }
+}
+
+#[cfg(feature = "naive-reference")]
+mod naive_oracle {
+    use super::*;
+    use topo_invariant::canonical_code_naive;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The store's class partition coincides with the partition induced
+        /// by the frozen pre-optimisation reference codes.
+        #[test]
+        fn partition_matches_the_frozen_reference_codes(instances in batch()) {
+            let invariants: Vec<Arc<TopologicalInvariant>> =
+                instances.iter().map(|i| Arc::new(top(i))).collect();
+            let store = InvariantStore::default();
+            for invariant in &invariants {
+                store.ingest_invariant(invariant.clone());
+            }
+            let reference: Vec<String> =
+                invariants.iter().map(|i| canonical_code_naive(i)).collect();
+            let classes = store.classes();
+            for i in 0..invariants.len() {
+                for j in 0..invariants.len() {
+                    let same_class =
+                        classes.iter().any(|c| c.contains(&i) && c.contains(&j));
+                    prop_assert_eq!(
+                        same_class,
+                        reference[i] == reference[j],
+                        "store partition diverged from the reference codes at {} / {}", i, j
+                    );
+                }
+            }
+        }
+    }
+}

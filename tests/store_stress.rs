@@ -1,0 +1,271 @@
+//! Multi-threaded stress over the `InvariantStore`: N writer threads
+//! ingesting interleaved with M reader threads querying (std scoped
+//! threads, no extra dependencies). Afterwards the store must show no lost
+//! updates, a class partition identical to the single-threaded oracle,
+//! bit-identical answers before/after eviction-triggering pressure, and
+//! memo counters proving that repeated queries were served from the memo.
+//!
+//! CI runs this suite both single- and multi-threaded
+//! (`--test-threads=1` and the parallel default), so the store is exercised
+//! under an oversubscribed scheduler as well as an idle one.
+
+use std::sync::Arc;
+use topo_core::spatial::transform::AffineMap;
+use topo_core::{
+    evaluate_on_invariant, isomorphism_classes, top, InvariantStore, SpatialInstance, StoreConfig,
+    TopologicalInvariant, TopologicalQuery,
+};
+use topo_datagen::{
+    figure1, nested_rings, scattered_islands, sequoia_hydro, sequoia_landcover, Scale,
+};
+
+const WRITERS: usize = 4;
+const READERS: usize = 3;
+
+fn query_mix() -> Vec<TopologicalQuery> {
+    use TopologicalQuery as Q;
+    vec![
+        Q::Intersects(0, 1),
+        Q::Contains(0, 1),
+        Q::BoundaryOnlyIntersection(0, 1),
+        Q::InteriorsOverlap(0, 1),
+        Q::IsConnected(0),
+        Q::ComponentCountEven(0),
+        Q::HasHole(0),
+    ]
+}
+
+/// A duplicate-heavy batch of pre-built invariants: a handful of distinct
+/// tiny topologies, each repeated under several homeomorphic images.
+fn stress_batch() -> Vec<Arc<TopologicalInvariant>> {
+    let scale = Scale { grid: 3 };
+    let bases: Vec<SpatialInstance> = vec![
+        sequoia_landcover(scale, 1),
+        sequoia_hydro(scale, 1),
+        sequoia_landcover(scale, 7),
+        figure1(),
+        nested_rings(3, 2),
+        nested_rings(2, 3),
+        scattered_islands(4),
+        scattered_islands(5),
+    ];
+    let maps = [
+        AffineMap::identity(),
+        AffineMap::translation(90_000, -40_000),
+        AffineMap::rotation90(),
+        AffineMap::reflection_x(),
+        AffineMap::rotation90().compose(&AffineMap::translation(7_777, 311)),
+    ];
+    // Copy-major interleaving, so duplicates of one topology arrive spread
+    // out across the ingest stream (and across writer threads).
+    maps.iter()
+        .flat_map(|map| bases.iter().map(|base| Arc::new(top(&map.apply_instance(base)))))
+        .collect()
+}
+
+/// N writers ingest the batch while M readers hammer queries over whatever
+/// prefix is visible; afterwards the store equals the single-threaded
+/// oracle in every observable.
+#[test]
+fn concurrent_ingest_and_query_loses_no_updates() {
+    let invariants = stress_batch();
+    let queries = query_mix();
+    let store = InvariantStore::default();
+    // Seed a small prefix so readers have instances from the start.
+    let prefix = 4;
+    for invariant in &invariants[..prefix] {
+        store.ingest_invariant(invariant.clone());
+    }
+
+    let total = invariants.len();
+    let chunk_size = (total - prefix).div_ceil(WRITERS);
+    // `id_of[k]` = the instance id writer threads obtained for batch index k.
+    let mut id_of: Vec<(usize, usize)> = (0..prefix).map(|i| (i, i)).collect();
+    std::thread::scope(|s| {
+        let mut writers = Vec::new();
+        for (w, chunk) in invariants[prefix..].chunks(chunk_size).enumerate() {
+            let store = &store;
+            writers.push(s.spawn(move || {
+                let start = prefix + w * chunk_size;
+                chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(k, invariant)| (start + k, store.ingest_invariant(invariant.clone())))
+                    .collect::<Vec<(usize, usize)>>()
+            }));
+        }
+        for r in 0..READERS {
+            let (store, queries, invariants) = (&store, &queries, &invariants);
+            s.spawn(move || loop {
+                let visible = store.instance_count();
+                for step in 0..visible {
+                    // Stagger readers so they touch different keys at the
+                    // same moment.
+                    let id = (step + r * 11) % visible;
+                    for q in 0..queries.len() {
+                        let answer = store.query(id, &queries[(q + r) % queries.len()]);
+                        assert!(answer.is_some(), "visible instance {id} must be queryable");
+                    }
+                }
+                if visible == invariants.len() {
+                    break;
+                }
+            });
+        }
+        for writer in writers {
+            id_of.extend(writer.join().expect("writer thread"));
+        }
+    });
+
+    // No lost updates: every ingest got a distinct id and they are dense.
+    assert_eq!(store.instance_count(), total);
+    let mut ids: Vec<usize> = id_of.iter().map(|&(_, id)| id).collect();
+    ids.sort_unstable();
+    assert_eq!(ids, (0..total).collect::<Vec<_>>());
+
+    // The concurrent partition equals the single-threaded oracle partition
+    // (as a set of classes over batch indices; ingest interleaving only
+    // permutes ids within it).
+    let oracle = normalised(isomorphism_classes(&invariants));
+    let mut batch_index_of = vec![0usize; total];
+    for &(batch, id) in &id_of {
+        batch_index_of[id] = batch;
+    }
+    let concurrent = normalised(
+        store
+            .classes()
+            .into_iter()
+            .map(|class| class.into_iter().map(|id| batch_index_of[id]).collect())
+            .collect(),
+    );
+    assert_eq!(concurrent, oracle, "concurrent ingest changed the class partition");
+
+    // Every instance answers exactly like the per-instance oracle.
+    for &(batch, id) in &id_of {
+        for query in &queries {
+            assert_eq!(
+                store.query(id, query),
+                Some(evaluate_on_invariant(query, &invariants[batch])),
+                "instance {id} diverged from its oracle on {query:?}"
+            );
+        }
+    }
+    // And the representatives are pairwise non-isomorphic (no class split).
+    for c1 in 0..store.class_count() {
+        for c2 in (c1 + 1)..store.class_count() {
+            let (r1, r2) =
+                (store.class_representative(c1).unwrap(), store.class_representative(c2).unwrap());
+            assert!(!r1.is_isomorphic_to(&r2), "classes {c1} and {c2} should have merged");
+        }
+    }
+}
+
+/// Repeated queries must be served by the memo: under concurrent readers
+/// the only misses are first-touches (plus the bounded both-threads-missed
+/// race), and a later single-threaded sweep adds no miss at all.
+#[test]
+fn repeated_queries_hit_the_memo() {
+    let invariants = stress_batch();
+    let queries = query_mix();
+    let store = InvariantStore::default();
+    for invariant in &invariants {
+        store.ingest_invariant(invariant.clone());
+    }
+    let keys = store.class_count() as u64 * queries.len() as u64;
+
+    let rounds = 4;
+    std::thread::scope(|s| {
+        for r in 0..READERS {
+            let (store, queries, invariants) = (&store, &queries, &invariants);
+            s.spawn(move || {
+                for _ in 0..rounds {
+                    for id in 0..invariants.len() {
+                        for query in queries {
+                            let id = (id + r * 7) % invariants.len();
+                            assert!(store.query(id, query).is_some());
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let stats = store.stats();
+    let issued = (READERS * rounds * invariants.len() * queries.len()) as u64;
+    assert_eq!(stats.memo_hits + stats.memo_misses, issued, "every query is counted");
+    // Worst case each of the M readers misses each key once before the
+    // first insert lands; everything else must be a hit.
+    assert!(
+        stats.memo_misses <= keys * READERS as u64,
+        "more misses than first-touch races allow: {stats:?}"
+    );
+    assert!(stats.memo_hits >= issued - keys * READERS as u64);
+    assert_eq!(stats.memo_evictions, 0, "ample capacity must not evict");
+
+    // With every key resident, a full sweep is hits only.
+    let before = store.stats();
+    for id in 0..invariants.len() {
+        for query in &queries {
+            store.query(id, query);
+        }
+    }
+    let after = store.stats();
+    assert_eq!(after.memo_misses, before.memo_misses, "a warm sweep must not miss");
+    assert_eq!(after.memo_hits - before.memo_hits, (invariants.len() * queries.len()) as u64);
+}
+
+/// Eviction-triggering pressure (a memo far smaller than the key space)
+/// must never change an answer, single- or multi-threaded.
+#[test]
+fn answers_are_stable_under_eviction_pressure() {
+    let invariants = stress_batch();
+    let queries = query_mix();
+    let store = InvariantStore::new(StoreConfig { memo_capacity: 4, memo_shards: 2 });
+    for invariant in &invariants {
+        store.ingest_invariant(invariant.clone());
+    }
+    // The oracle sheet, computed once before any pressure.
+    let expected: Vec<Vec<bool>> = invariants
+        .iter()
+        .map(|invariant| queries.iter().map(|q| evaluate_on_invariant(q, invariant)).collect())
+        .collect();
+
+    std::thread::scope(|s| {
+        for r in 0..READERS + 1 {
+            let (store, queries, expected, invariants) = (&store, &queries, &expected, &invariants);
+            s.spawn(move || {
+                for round in 0..3 {
+                    for id in 0..invariants.len() {
+                        let id = (id + r * 13 + round) % invariants.len();
+                        for (q, query) in queries.iter().enumerate() {
+                            assert_eq!(
+                                store.query(id, query),
+                                Some(expected[id][q]),
+                                "answer drifted under eviction pressure"
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let stats = store.stats();
+    assert!(stats.memo_evictions > 0, "the pressure test must actually evict: {stats:?}");
+    assert!(stats.memo_entries <= 4, "capacity bound violated: {stats:?}");
+
+    // After the storm: a fresh sweep still matches the oracle sheet.
+    for (id, row) in expected.iter().enumerate() {
+        for (q, query) in queries.iter().enumerate() {
+            assert_eq!(store.query(id, query), Some(row[q]));
+        }
+    }
+}
+
+/// Normalises a partition for set comparison: members sorted within
+/// classes, classes sorted by first member.
+fn normalised(mut classes: Vec<Vec<usize>>) -> Vec<Vec<usize>> {
+    for class in &mut classes {
+        class.sort_unstable();
+    }
+    classes.sort();
+    classes
+}
