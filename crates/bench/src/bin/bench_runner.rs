@@ -13,11 +13,14 @@
 //! beat. A fourth stage throws the duplicate-heavy store mix at the
 //! concurrent [`InvariantStore`] from scoped threads — multi-threaded
 //! ingest throughput, then the same query sweep against a memoising store
-//! and the memo-disabled baseline. `BENCH_6.json` at the repository root is
-//! the committed baseline (`BENCH_5.json`/`BENCH_4.json`/`BENCH_3.json`/
-//! `BENCH_2.json` record the earlier trajectory; BENCHMARKS.md tabulates
-//! it); see DESIGN.md, "Performance", "Canonicalisation", "Datalog engine"
-//! and "Invariant store".
+//! and the memo-disabled baseline. A fifth stage measures the durability
+//! layer: WAL-logged ingest, WAL replay, snapshot write/load, and mixed
+//! snapshot+WAL recovery at three workload sizes. `BENCH_7.json` at the
+//! repository root is the committed baseline (`BENCH_6.json`/
+//! `BENCH_5.json`/`BENCH_4.json`/`BENCH_3.json`/`BENCH_2.json` record the
+//! earlier trajectory; BENCHMARKS.md tabulates it); see DESIGN.md,
+//! "Performance", "Canonicalisation", "Datalog engine", "Invariant store"
+//! and "Durability & degradation".
 //!
 //! ```text
 //! bench_runner [--quick] [--out PATH]
@@ -35,13 +38,14 @@
 //!     --bin bench_runner -- --quick --out BENCH_ci.json
 //! ```
 
+use std::sync::Arc;
 use std::time::Instant;
 use topo_bench::{median_ns, median_ns_with};
 use topo_core::relational::datalog::naive as datalog_naive;
 use topo_core::spatial::transform::AffineMap;
 use topo_core::{
-    datalog_program, InvariantStore, Semantics, SpatialInstance, StoreConfig, TopologicalInvariant,
-    TopologicalQuery,
+    datalog_program, InvariantStore, MemoryBackend, Semantics, SpatialInstance, StoreConfig,
+    TopologicalInvariant, TopologicalQuery,
 };
 use topo_datagen::{figure1, ign_city, nested_rings, sequoia_hydro, sequoia_landcover, Scale};
 
@@ -493,6 +497,132 @@ fn measure_store(quick: bool) -> StoreReport {
     }
 }
 
+/// The durability stage at one workload size: snapshot write/load, WAL
+/// append and replay throughput, and end-to-end recovery time.
+struct RecoveryReport {
+    copies: usize,
+    instances: usize,
+    classes: usize,
+    wal_records: u64,
+    wal_bytes: usize,
+    ingest_log_ns: u128,
+    ingest_log_per_sec: f64,
+    wal_replay_ns: u128,
+    wal_replay_records_per_sec: f64,
+    snapshot_write_ns: u128,
+    snapshot_bytes: usize,
+    snapshot_load_ns: u128,
+    mixed_recover_ns: u128,
+    samples: usize,
+}
+
+/// A compact duplicate-heavy invariant pool for the durability stage: six
+/// small bases, `copies` homeomorphic images each, pre-canonicalised so the
+/// timed sections measure the persistence layer rather than `top(I)`.
+fn persist_workload(copies: usize) -> Vec<Arc<TopologicalInvariant>> {
+    let scale = Scale { grid: 3 };
+    let bases = [
+        sequoia_landcover(scale, 1),
+        sequoia_hydro(scale, 1),
+        ign_city(scale, 1),
+        figure1(),
+        nested_rings(2, 2),
+        nested_rings(3, 2),
+    ];
+    let mut out = Vec::with_capacity(bases.len() * copies);
+    for k in 0..copies {
+        let shift = AffineMap::translation(k as i64 * 91_003, -(k as i64) * 47_057);
+        let map = match k % 3 {
+            1 => AffineMap::rotation90().compose(&shift),
+            2 => AffineMap::reflection_x().compose(&shift),
+            _ => shift,
+        };
+        for base in &bases {
+            let invariant = Arc::new(topo_core::top(&map.apply_instance(base)));
+            invariant.canonical_code();
+            out.push(invariant);
+        }
+    }
+    out
+}
+
+/// Measures the snapshot + WAL durability layer at three workload sizes:
+/// WAL-logged ingest (append throughput), WAL-only recovery (replay
+/// throughput), checkpoint (snapshot write), snapshot-only recovery
+/// (snapshot load + decode) and a mixed snapshot + WAL recovery — all on
+/// the in-memory backend, so the medium costs nothing and the format and
+/// replay machinery are what is timed.
+fn measure_persist(quick: bool) -> Vec<RecoveryReport> {
+    let copies_list: [usize; 3] = if quick { [2, 4, 8] } else { [4, 10, 24] };
+    let samples = if quick { 3 } else { 7 };
+    let mut out = Vec::new();
+    for &copies in &copies_list {
+        let invariants = persist_workload(copies);
+
+        // WAL-logged ingest (codes pre-warmed: locking + content addressing
+        // + record encoding + append), plus a removal tail so the log holds
+        // the full operation vocabulary.
+        let backend = MemoryBackend::new();
+        let store = InvariantStore::open(StoreConfig::default(), backend.clone())
+            .expect("open empty store");
+        let start = Instant::now();
+        for invariant in &invariants {
+            store.ingest_invariant(invariant.clone());
+        }
+        let ingest_log_ns = start.elapsed().as_nanos();
+        let mut removed = 0u64;
+        for id in (0..invariants.len()).step_by(10) {
+            store.remove_instance(id);
+            removed += 1;
+        }
+        let wal_records = invariants.len() as u64 + removed;
+        let wal_bytes = backend.wal_bytes().len();
+
+        // WAL-only recovery: replay every record from an empty base state.
+        let wal_replay_ns = median_ns(samples, || {
+            InvariantStore::open(StoreConfig::default(), backend.clone()).expect("wal replay")
+        });
+
+        // Checkpoint: encode + write the snapshot (the first call also
+        // resets the WAL; later samples re-write the same state).
+        let snapshot_write_ns = median_ns(samples, || store.checkpoint().expect("checkpoint"));
+        let snapshot_bytes = backend.snapshot_bytes().map_or(0, |b| b.len());
+
+        // Snapshot-only recovery (the WAL is empty after the checkpoint).
+        let snapshot_load_ns = median_ns(samples, || {
+            InvariantStore::open(StoreConfig::default(), backend.clone()).expect("snapshot load")
+        });
+
+        // Mixed recovery: a second generation of ingests (all dedup hits)
+        // lands in the fresh WAL on top of the snapshot.
+        for invariant in &invariants {
+            store.ingest_invariant(invariant.clone());
+        }
+        let mixed_recover_ns = median_ns(samples, || {
+            InvariantStore::open(StoreConfig::default(), backend.clone()).expect("mixed recovery")
+        });
+
+        let per_sec = |count: u64, ns: u128| count as f64 / (ns as f64 / 1e9);
+        out.push(RecoveryReport {
+            copies,
+            instances: store.instance_count(),
+            classes: store.class_count(),
+            wal_records,
+            wal_bytes,
+            ingest_log_ns,
+            ingest_log_per_sec: per_sec(invariants.len() as u64, ingest_log_ns),
+            wal_replay_ns,
+            wal_replay_records_per_sec: per_sec(wal_records, wal_replay_ns),
+            snapshot_write_ns,
+            snapshot_bytes,
+            snapshot_load_ns,
+            mixed_recover_ns,
+            samples,
+        });
+    }
+    out
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -501,7 +631,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     // Quick mode never overwrites the committed 15-sample baseline unless
-    // the caller passes `--out BENCH_6.json` explicitly.
+    // the caller passes `--out BENCH_7.json` explicitly.
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -511,7 +641,7 @@ fn main() {
             if quick {
                 "BENCH_quick.json".to_string()
             } else {
-                "BENCH_6.json".to_string()
+                "BENCH_7.json".to_string()
             }
         });
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -529,7 +659,7 @@ fn main() {
 
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"id\": \"BENCH_6\",\n");
+    out.push_str("  \"id\": \"BENCH_7\",\n");
     out.push_str(
         "  \"description\": \"top(I) construction, canonicalisation, datalog query \
          evaluation and the concurrent invariant store: per-stage medians and speedups vs \
@@ -542,7 +672,10 @@ fn main() {
          (stratified) on invariant exports, semi-naive vs datalog::naive; the store \
          section ingests a duplicate-heavy mix into the InvariantStore from scoped \
          threads and runs one query sweep against the memoising store and one against \
-         the memo-disabled baseline (speedup = memo_qps / nomemo_qps); samples objects \
+         the memo-disabled baseline (speedup = memo_qps / nomemo_qps); the recovery \
+         section measures the snapshot + WAL durability layer on the in-memory backend \
+         at three workload sizes: WAL-logged ingest and replay throughput, snapshot \
+         write/load, and a mixed snapshot+WAL recovery; samples objects \
          record the sample counts actually used per median; naive medians are null where \
          the reference path is intractable\",\n",
     );
@@ -738,6 +871,52 @@ fn main() {
     out.push_str(&format!("    \"nomemo_sweep_ns\": {},\n", store.nomemo_ns));
     out.push_str(&format!("    \"nomemo_queries_per_sec\": {:.1},\n", store.nomemo_qps));
     out.push_str(&format!("    \"memo_speedup\": {:.2}\n", store.memo_speedup()));
+    out.push_str("  },\n");
+
+    // The durability stage: snapshot + WAL persistence over the in-memory
+    // backend, so the numbers isolate the encode/replay cost from disk I/O.
+    eprintln!("== recovery stage ==");
+    let recovery = measure_persist(quick);
+    out.push_str("  \"recovery\": {\n");
+    out.push_str("    \"scales\": [\n");
+    for (i, r) in recovery.iter().enumerate() {
+        eprintln!(
+            "  {:>5} instances ({} classes, {} wal records): ingest+log {:>11} ns \
+             ({:.0}/sec), replay {:>10} ns ({:.0} records/sec), snapshot write \
+             {:>9} ns ({} bytes), load {:>9} ns, mixed recover {:>10} ns",
+            r.instances,
+            r.classes,
+            r.wal_records,
+            r.ingest_log_ns,
+            r.ingest_log_per_sec,
+            r.wal_replay_ns,
+            r.wal_replay_records_per_sec,
+            r.snapshot_write_ns,
+            r.snapshot_bytes,
+            r.snapshot_load_ns,
+            r.mixed_recover_ns,
+        );
+        out.push_str("      {\n");
+        out.push_str(&format!("        \"copies\": {},\n", r.copies));
+        out.push_str(&format!("        \"instances\": {},\n", r.instances));
+        out.push_str(&format!("        \"classes\": {},\n", r.classes));
+        out.push_str(&format!("        \"wal_records\": {},\n", r.wal_records));
+        out.push_str(&format!("        \"wal_bytes\": {},\n", r.wal_bytes));
+        out.push_str(&format!("        \"ingest_log_ns\": {},\n", r.ingest_log_ns));
+        out.push_str(&format!("        \"ingest_log_per_sec\": {:.1},\n", r.ingest_log_per_sec));
+        out.push_str(&format!("        \"wal_replay_ns\": {},\n", r.wal_replay_ns));
+        out.push_str(&format!(
+            "        \"wal_replay_records_per_sec\": {:.1},\n",
+            r.wal_replay_records_per_sec
+        ));
+        out.push_str(&format!("        \"snapshot_write_ns\": {},\n", r.snapshot_write_ns));
+        out.push_str(&format!("        \"snapshot_bytes\": {},\n", r.snapshot_bytes));
+        out.push_str(&format!("        \"snapshot_load_ns\": {},\n", r.snapshot_load_ns));
+        out.push_str(&format!("        \"mixed_recover_ns\": {},\n", r.mixed_recover_ns));
+        out.push_str(&format!("        \"samples\": {}\n", r.samples));
+        out.push_str(if i + 1 < recovery.len() { "      },\n" } else { "      }\n" });
+    }
+    out.push_str("    ]\n");
     out.push_str("  }\n}\n");
 
     std::fs::write(&out_path, &out).expect("write benchmark baseline");

@@ -64,7 +64,11 @@ pub use topo_queries::{
 };
 pub use topo_relational::{Formula, Program, Semantics, Structure};
 pub use topo_spatial::{PointFormula, RealFormula, Region, RegionId, Schema, SpatialInstance};
-pub use topo_store::{ClassId, InstanceId, InvariantStore, StoreConfig, StoreStats};
+pub use topo_store::{
+    ClassId, Fault, FaultKind, FaultPlan, FaultSite, FaultyBackend, FileBackend, IngestOutcome,
+    InstanceId, InvariantStore, MemoryBackend, PersistError, StorageBackend, StoreConfig,
+    StoreConfigError, StoreStats,
+};
 
 #[cfg(test)]
 mod tests {

@@ -149,6 +149,15 @@ impl CodeHash {
     pub fn as_u64(self) -> u64 {
         self.0
     }
+
+    /// Rebuilds a digest from its raw value, for persistence layers that
+    /// stored [`as_u64`](Self::as_u64) (e.g. `topo-store`'s snapshot/WAL
+    /// format, which keeps the hash alongside each class so recovery never
+    /// has to recanonicalise). The value carries no proof of matching any
+    /// code; exact users must still confirm by comparing codes.
+    pub fn from_u64(raw: u64) -> Self {
+        CodeHash(raw)
+    }
 }
 
 /// The canonical form of an invariant: the canonical code together with the

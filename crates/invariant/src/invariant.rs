@@ -90,6 +90,111 @@ pub struct TopologicalInvariant {
     canonical: OnceLock<(CanonicalForm, CodeHash)>,
 }
 
+/// The raw, serialisation-friendly data of a [`TopologicalInvariant`]: every
+/// stored field, with all derived structure (skeleton components, the
+/// component tree, face ownership, the cached canonical form) stripped.
+///
+/// Produced by [`TopologicalInvariant::to_parts`] and consumed by
+/// [`TopologicalInvariant::from_parts`], which recomputes the derived
+/// structure — the round trip is observationally exact (same canonical code,
+/// same relational export). This is the surface persistence layers such as
+/// `topo-store`'s snapshot/WAL format encode, so the invariant's in-memory
+/// derived caches never leak into an on-disk format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvariantParts {
+    /// The schema the invariant was built over.
+    pub schema: Schema,
+    /// Per vertex: edge-end slots in counterclockwise order.
+    pub vertex_slots: Vec<Vec<(usize, u8)>>,
+    /// Per vertex: face sectors (sector `i` follows slot `i`).
+    pub vertex_sectors: Vec<Vec<usize>>,
+    /// Per vertex: the containing face, for isolated vertices.
+    pub vertex_isolated_face: Vec<Option<usize>>,
+    /// Per vertex: regions containing it.
+    pub vertex_regions: Vec<RegionSet>,
+    /// Per vertex: regions on whose boundary it lies.
+    pub vertex_boundary: Vec<RegionSet>,
+    /// Per edge: endpoints (`None` for closed curves).
+    pub edge_ends: Vec<Option<(usize, usize)>>,
+    /// Per edge: the two faces beside it.
+    pub edge_sides: Vec<(usize, usize)>,
+    /// Per edge: regions containing it.
+    pub edge_regions: Vec<RegionSet>,
+    /// Per edge: regions on whose boundary it lies.
+    pub edge_boundary: Vec<RegionSet>,
+    /// Per face: regions whose interior contains it.
+    pub face_regions: Vec<RegionSet>,
+    /// Index of the exterior face.
+    pub exterior_face: usize,
+}
+
+impl InvariantParts {
+    /// Structural validation: every per-vertex/-edge/-face vector has the
+    /// right length and every cross-reference (edge endpoints, face sides,
+    /// sector faces, isolated faces, the exterior face) is in bounds. Returns
+    /// a description of the first violation.
+    fn validate(&self) -> Result<(), String> {
+        let nv = self.vertex_slots.len();
+        let ne = self.edge_ends.len();
+        let nf = self.face_regions.len();
+        let len = |name: &str, got: usize, want: usize| {
+            if got == want {
+                Ok(())
+            } else {
+                Err(format!("{name}: {got} entries for {want} cells"))
+            }
+        };
+        len("vertex_sectors", self.vertex_sectors.len(), nv)?;
+        len("vertex_isolated_face", self.vertex_isolated_face.len(), nv)?;
+        len("vertex_regions", self.vertex_regions.len(), nv)?;
+        len("vertex_boundary", self.vertex_boundary.len(), nv)?;
+        len("edge_sides", self.edge_sides.len(), ne)?;
+        len("edge_regions", self.edge_regions.len(), ne)?;
+        len("edge_boundary", self.edge_boundary.len(), ne)?;
+        if nf == 0 {
+            return Err("no faces (every invariant has an exterior face)".to_string());
+        }
+        if self.exterior_face >= nf {
+            return Err(format!("exterior face {} out of {nf} faces", self.exterior_face));
+        }
+        for (v, slots) in self.vertex_slots.iter().enumerate() {
+            if self.vertex_sectors[v].len() != slots.len() {
+                return Err(format!("vertex {v}: sector count diverges from slot count"));
+            }
+            for &(e, end) in slots {
+                if e >= ne || end > 1 {
+                    return Err(format!("vertex {v}: slot ({e}, {end}) out of range"));
+                }
+            }
+            for &f in &self.vertex_sectors[v] {
+                if f >= nf {
+                    return Err(format!("vertex {v}: sector face {f} out of {nf}"));
+                }
+            }
+            if let Some(f) = self.vertex_isolated_face[v] {
+                if f >= nf {
+                    return Err(format!("vertex {v}: isolated face {f} out of {nf}"));
+                }
+            }
+            if slots.is_empty() && self.vertex_isolated_face[v].is_none() {
+                return Err(format!("vertex {v}: isolated but has no containing face"));
+            }
+        }
+        for (e, ends) in self.edge_ends.iter().enumerate() {
+            if let Some((a, b)) = *ends {
+                if a >= nv || b >= nv {
+                    return Err(format!("edge {e}: endpoint out of {nv} vertices"));
+                }
+            }
+            let (l, r) = self.edge_sides[e];
+            if l >= nf || r >= nf {
+                return Err(format!("edge {e}: side face out of {nf} faces"));
+            }
+        }
+        Ok(())
+    }
+}
+
 impl TopologicalInvariant {
     /// Freezes a (reduced or unreduced) complex into an invariant.
     pub fn from_complex(complex: &Complex, schema: Schema) -> Self {
@@ -161,6 +266,62 @@ impl TopologicalInvariant {
         invariant.compute_components();
         invariant.compute_component_tree();
         invariant
+    }
+
+    /// Extracts the raw stored data of the invariant — the inverse of
+    /// [`from_parts`](Self::from_parts). Derived structure and the cached
+    /// canonical form are not included; `from_parts` recomputes them.
+    pub fn to_parts(&self) -> InvariantParts {
+        InvariantParts {
+            schema: self.schema.clone(),
+            vertex_slots: self.vertex_slots.clone(),
+            vertex_sectors: self.vertex_sectors.clone(),
+            vertex_isolated_face: self.vertex_isolated_face.clone(),
+            vertex_regions: self.vertex_regions.clone(),
+            vertex_boundary: self.vertex_boundary.clone(),
+            edge_ends: self.edge_ends.clone(),
+            edge_sides: self.edge_sides.clone(),
+            edge_regions: self.edge_regions.clone(),
+            edge_boundary: self.edge_boundary.clone(),
+            face_regions: self.face_regions.clone(),
+            exterior_face: self.exterior_face,
+        }
+    }
+
+    /// Rebuilds an invariant from its raw parts, recomputing the skeleton
+    /// components, the component tree and face ownership. Rejects
+    /// structurally inconsistent parts (length mismatches, out-of-range
+    /// cross-references) with a description instead of risking a panic in a
+    /// later query — the contract persistence layers need when the parts come
+    /// off a disk.
+    ///
+    /// For parts obtained from [`to_parts`](Self::to_parts) the round trip is
+    /// observationally exact: the same canonical code, the same relational
+    /// export, the same answer to every accessor.
+    pub fn from_parts(parts: InvariantParts) -> Result<Self, String> {
+        parts.validate()?;
+        let mut invariant = TopologicalInvariant {
+            schema: parts.schema,
+            vertex_slots: parts.vertex_slots,
+            vertex_sectors: parts.vertex_sectors,
+            vertex_isolated_face: parts.vertex_isolated_face,
+            vertex_regions: parts.vertex_regions,
+            vertex_boundary: parts.vertex_boundary,
+            edge_ends: parts.edge_ends,
+            edge_sides: parts.edge_sides,
+            edge_regions: parts.edge_regions,
+            edge_boundary: parts.edge_boundary,
+            face_regions: parts.face_regions,
+            exterior_face: parts.exterior_face,
+            components: Vec::new(),
+            component_of_vertex: Vec::new(),
+            component_of_edge: Vec::new(),
+            face_owner: Vec::new(),
+            canonical: OnceLock::new(),
+        };
+        invariant.compute_components();
+        invariant.compute_component_tree();
+        Ok(invariant)
     }
 
     // ----- basic accessors --------------------------------------------------

@@ -46,7 +46,8 @@ pub use canonical::{
 pub use complex::{CellId, Complex, RegionSet};
 pub use construct::build_complex;
 pub use invariant::{
-    BoundaryComponent, CellKind, Component, ComponentId, ConeItem, TopologicalInvariant,
+    BoundaryComponent, CellKind, Component, ComponentId, ConeItem, InvariantParts,
+    TopologicalInvariant,
 };
 pub use invert::{invert, invert_verified};
 pub use stats::InvariantStats;

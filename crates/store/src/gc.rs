@@ -1,0 +1,109 @@
+//! Instance removal and class garbage collection.
+//!
+//! Removal is a tombstone: the instance's slot becomes `None` and its id is
+//! never reused, so a dangling id held by a client can only ever answer
+//! `None`, never someone else's data. When the last member of a class
+//! leaves, the class is collected — its representative `Arc` dropped (the
+//! only deep state the store holds), its content address unregistered, its
+//! id retired, and its memoised answers purged so no stale
+//! `(class, query)` row survives the class it described.
+//!
+//! Lock discipline: the table mutation happens under the usual
+//! `classes → instances` write locks (with the WAL removal record appended
+//! inside the critical section, keeping WAL order = operation order); the
+//! memo purge runs *after* both locks release, honouring the crate-wide
+//! rule that memo shard locks never nest with the table locks. The window
+//! in between is benign: a stale memo row keyed by a dead class id can no
+//! longer be reached, because every lookup path re-resolves the class id
+//! first and dead ids resolve to `None`.
+
+use std::sync::atomic::Ordering;
+
+use crate::{write_recover, ClassId, ClassTable, InstanceId, InstanceTable, InvariantStore};
+
+/// Removes a dead instance from the tables: tombstones the slot, drops it
+/// from the member list, and collects the class if it emptied. Returns the
+/// class the instance belonged to and whether the class was collected, or
+/// `None` if the id is unknown or already removed. Shared by the live
+/// removal path and WAL replay so recovery reproduces removal semantics
+/// exactly.
+pub(crate) fn remove_from_tables(
+    classes: &mut ClassTable,
+    instances: &mut InstanceTable,
+    id: InstanceId,
+) -> Option<(ClassId, bool)> {
+    let slot = instances.slots.get_mut(id)?;
+    let class = slot.take()?;
+    instances.live -= 1;
+    let members = &mut classes.members[class];
+    if let Some(pos) = members.iter().position(|&m| m == id) {
+        members.remove(pos);
+    }
+    if !members.is_empty() {
+        return Some((class, false));
+    }
+    // Last member gone: collect the class. The slot keeps its index (ids
+    // are never reused); only the representative and the content address go.
+    classes.reps[class] = None;
+    let hash = classes.hashes[class];
+    if let Some(candidates) = classes.by_hash.get_mut(&hash) {
+        candidates.retain(|&c| c != class);
+        if candidates.is_empty() {
+            classes.by_hash.remove(&hash);
+        }
+    }
+    classes.live -= 1;
+    Some((class, true))
+}
+
+impl InvariantStore {
+    /// Removes an ingested instance. Returns `true` if the id was live (and
+    /// is now tombstoned), `false` for an unknown or already-removed id.
+    ///
+    /// If the instance was the last member of its class, the class is
+    /// garbage-collected: [`class_representative`](Self::class_representative)
+    /// / [`class_members`](Self::class_members) /
+    /// [`query_class`](Self::query_class) answer `None` for it from now on,
+    /// its memo entries are purged, its admission slot is freed, and its id
+    /// is never reused. On a persistent store the removal is WAL-logged
+    /// before the locks release.
+    pub fn remove_instance(&self, id: InstanceId) -> bool {
+        let collected = {
+            let mut classes = write_recover(&self.classes, &self.counters);
+            let mut instances = write_recover(&self.instances, &self.counters);
+            let Some((class, collected)) = remove_from_tables(&mut classes, &mut instances, id)
+            else {
+                return false;
+            };
+            if self.persistence.is_some() {
+                self.wal_remove(id);
+            }
+            self.counters.removals.fetch_add(1, Ordering::Relaxed);
+            if collected {
+                self.counters.gc_classes.fetch_add(1, Ordering::Relaxed);
+            }
+            collected.then_some(class)
+        };
+        if let Some(class) = collected {
+            self.purge_class_memo(class);
+        }
+        true
+    }
+
+    /// Drops every memoised answer of a dead class, counting them into
+    /// [`memo_invalidated`](crate::StoreStats::memo_invalidated). Runs
+    /// outside the table locks; racing queries on the dying class either
+    /// already resolved it (and at worst re-insert an entry that the next
+    /// purge or eviction removes — harmless, since dead class ids are
+    /// unreachable through every lookup path) or resolve it to `None`.
+    pub(crate) fn purge_class_memo(&self, class: ClassId) {
+        let mut purged = 0u64;
+        for shard in &self.memo {
+            let mut shard = write_recover(shard, &self.counters);
+            let before = shard.map.len();
+            shard.map.retain(|&(c, _), _| c != class);
+            purged += (before - shard.map.len()) as u64;
+        }
+        self.counters.memo_invalidated.fetch_add(purged, Ordering::Relaxed);
+    }
+}

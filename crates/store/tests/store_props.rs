@@ -174,8 +174,14 @@ proptest! {
             instances.iter().map(|i| Arc::new(top(i))).collect();
         let configs = [
             StoreConfig::default(),
-            StoreConfig { memo_capacity: 2, memo_shards: 1 },
+            StoreConfig { memo_capacity: 2, memo_shards: 1, ..StoreConfig::default() },
             StoreConfig::without_memo(),
+            // Degenerate and degradation knobs: zero shards (normalised to
+            // 1), more shards than capacity (clamped), and a lock budget
+            // (falls back instead of blocking) — none may change an answer.
+            StoreConfig { memo_capacity: 3, memo_shards: 0, ..StoreConfig::default() },
+            StoreConfig { memo_capacity: 2, memo_shards: 64, ..StoreConfig::default() },
+            StoreConfig { memo_lock_budget: Some(2), ..StoreConfig::default() },
         ];
         let queries = query_mix();
         let pairs: Vec<(usize, usize)> = (0..invariants.len())
@@ -202,6 +208,114 @@ proptest! {
             match &baseline {
                 None => baseline = Some(answers),
                 Some(expected) => prop_assert_eq!(&answers, expected),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// `ingest → remove → re-ingest` is unobservable: a store that removed
+    /// some instances and ingested the same topologies again answers exactly
+    /// like a store that never removed anything, and the dead ids answer
+    /// `None` forever.
+    #[test]
+    fn remove_and_reingest_is_unobservable(
+        instances in batch(),
+        seed in 0u64..1_000_000,
+    ) {
+        let invariants: Vec<Arc<TopologicalInvariant>> =
+            instances.iter().map(|i| Arc::new(top(i))).collect();
+        let n = invariants.len();
+        let removed: Vec<usize> = permutation(n, seed).into_iter().take(n / 2).collect();
+
+        let store = InvariantStore::default();
+        for invariant in &invariants {
+            store.ingest_invariant(invariant.clone());
+        }
+        for &i in &removed {
+            prop_assert!(store.remove_instance(i));
+        }
+        // Re-ingest the removed topologies: they get fresh ids.
+        let mut id_to_original: Vec<usize> = (0..n).collect();
+        for &i in &removed {
+            let id = store.ingest_invariant(invariants[i].clone());
+            prop_assert_eq!(id, id_to_original.len(), "ids stay dense and are never reused");
+            id_to_original.push(i);
+        }
+
+        let stats = store.stats();
+        prop_assert_eq!(stats.instances, n);
+        prop_assert_eq!(stats.removals as usize, removed.len());
+
+        // The live partition over original indices equals the never-removed
+        // oracle partition.
+        let oracle = normalised(isomorphism_classes(&invariants));
+        prop_assert_eq!(&store_partition(&store, &id_to_original), &oracle);
+        prop_assert_eq!(stats.classes, oracle.len());
+
+        // Every live id answers like its topology's oracle; dead ids answer
+        // `None`.
+        for query in query_mix() {
+            for &dead in &removed {
+                prop_assert_eq!(store.query(dead, &query), None);
+            }
+            for (id, &original) in id_to_original.iter().enumerate().skip(n) {
+                let expected = evaluate_on_invariant(&query, &invariants[original]);
+                prop_assert_eq!(store.query(id, &query), Some(expected));
+            }
+            for (id, invariant) in invariants.iter().enumerate().take(n) {
+                if !removed.contains(&id) {
+                    let expected = evaluate_on_invariant(&query, invariant);
+                    prop_assert_eq!(store.query(id, &query), Some(expected));
+                }
+            }
+        }
+    }
+
+    /// Garbage-collected classes free their memo entries: removing every
+    /// instance empties classes and memo alike, and a subsequent re-ingest
+    /// re-derives every answer from scratch, identically.
+    #[test]
+    fn gc_frees_memo_entries(instances in batch()) {
+        let invariants: Vec<Arc<TopologicalInvariant>> =
+            instances.iter().map(|i| Arc::new(top(i))).collect();
+        let store = InvariantStore::default();
+        for invariant in &invariants {
+            store.ingest_invariant(invariant.clone());
+        }
+        for query in query_mix() {
+            for id in 0..invariants.len() {
+                store.query(id, &query).expect("live instance");
+            }
+        }
+        let warm = store.stats();
+        prop_assert!(warm.memo_entries > 0);
+        let class_count = warm.classes;
+
+        for id in 0..invariants.len() {
+            prop_assert!(store.remove_instance(id));
+        }
+        let empty = store.stats();
+        prop_assert_eq!(empty.instances, 0);
+        prop_assert_eq!(empty.classes, 0);
+        prop_assert_eq!(empty.gc_classes as usize, class_count);
+        prop_assert_eq!(
+            empty.memo_entries, 0,
+            "every collected class must purge its memoised answers"
+        );
+        prop_assert!(empty.memo_invalidated as usize >= warm.memo_entries);
+
+        // No stale answer survives into the next generation of classes.
+        for invariant in &invariants {
+            store.ingest_invariant(invariant.clone());
+        }
+        for query in query_mix() {
+            for (i, invariant) in invariants.iter().enumerate() {
+                let id = invariants.len() + i;
+                let expected = evaluate_on_invariant(&query, invariant);
+                prop_assert_eq!(store.query(id, &query), Some(expected));
             }
         }
     }

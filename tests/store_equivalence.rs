@@ -11,7 +11,7 @@ use std::sync::Arc;
 use topo_core::spatial::transform::AffineMap;
 use topo_core::{
     canonical_code_naive, evaluate_on_classes, evaluate_on_invariant, isomorphism_classes, top,
-    InvariantStore, TopologicalInvariant, TopologicalQuery,
+    InvariantStore, MemoryBackend, StoreConfig, TopologicalInvariant, TopologicalQuery,
 };
 use topo_datagen::{
     figure1, ign_city, nested_rings, scattered_islands, sequoia_hydro, sequoia_landcover, Scale,
@@ -170,6 +170,46 @@ fn transformed_duplicates_land_in_one_class() {
     assert_eq!(stats.memo_misses, 1);
     assert_eq!(stats.memo_hits, 3);
     assert_eq!(store.class_of(first), Some(0));
+}
+
+/// The durability layer must be invisible to the equivalence contract: a
+/// store rebuilt from its snapshot + WAL (here one checkpoint mid-ingest,
+/// so recovery exercises both the snapshot load and the replay path)
+/// answers the whole oracle suite bit-identically to the live store.
+#[test]
+fn recovered_store_matches_oracles() {
+    let invariants = workload(3);
+    let backend = MemoryBackend::new();
+    let store = InvariantStore::open(StoreConfig::default(), backend.clone()).expect("open");
+    let half = invariants.len() / 2;
+    for invariant in &invariants[..half] {
+        store.ingest_invariant(invariant.clone());
+    }
+    store.checkpoint().expect("checkpoint");
+    for invariant in &invariants[half..] {
+        store.ingest_invariant(invariant.clone());
+    }
+    let partition = store.classes();
+    drop(store);
+
+    let recovered = InvariantStore::open(StoreConfig::default(), backend).expect("recover");
+    assert_eq!(recovered.classes(), partition, "recovery changed the class partition");
+    assert_eq!(recovered.classes(), isomorphism_classes(&invariants));
+    let stats = recovered.stats();
+    assert_eq!(stats.instances, invariants.len(), "recovery lost instances");
+    assert_eq!(
+        stats.replayed_records as usize,
+        invariants.len() - half,
+        "exactly the post-checkpoint ingests replay from the WAL"
+    );
+    for query in query_mix() {
+        let expected: Vec<bool> =
+            invariants.iter().map(|i| evaluate_on_invariant(&query, i)).collect();
+        assert_eq!(recovered.query_all(&query), expected, "recovered query_all on {query:?}");
+        for (i, &answer) in expected.iter().enumerate() {
+            assert_eq!(recovered.query(i, &query), Some(answer), "instance {i} on {query:?}");
+        }
+    }
 }
 
 #[test]

@@ -219,7 +219,11 @@ fn repeated_queries_hit_the_memo() {
 fn answers_are_stable_under_eviction_pressure() {
     let invariants = stress_batch();
     let queries = query_mix();
-    let store = InvariantStore::new(StoreConfig { memo_capacity: 4, memo_shards: 2 });
+    let store = InvariantStore::new(StoreConfig {
+        memo_capacity: 4,
+        memo_shards: 2,
+        ..StoreConfig::default()
+    });
     for invariant in &invariants {
         store.ingest_invariant(invariant.clone());
     }
@@ -258,6 +262,160 @@ fn answers_are_stable_under_eviction_pressure() {
             assert_eq!(store.query(id, query), Some(row[q]));
         }
     }
+}
+
+/// Concurrent writers over a *persistent* store: the WAL written under full
+/// write contention must recover — on a fresh store over the same medium —
+/// into exactly the observable state the live store ended with.
+#[test]
+fn concurrent_persistent_ingest_recovers_identically() {
+    let invariants = stress_batch();
+    let queries = query_mix();
+    let backend = topo_core::MemoryBackend::new();
+    let store =
+        InvariantStore::open(StoreConfig::default(), backend.clone()).expect("open empty store");
+
+    let chunk_size = invariants.len().div_ceil(WRITERS);
+    std::thread::scope(|s| {
+        for chunk in invariants.chunks(chunk_size) {
+            let store = &store;
+            s.spawn(move || {
+                for invariant in chunk {
+                    store.ingest_invariant(invariant.clone());
+                }
+            });
+        }
+    });
+    // A couple of removals (one of them collects a singleton class) so the
+    // recovered WAL contains the full operation vocabulary.
+    assert!(store.remove_instance(0));
+    assert!(store.remove_instance(7));
+    assert_eq!(store.stats().wal_errors, 0, "the in-memory backend must not fail");
+
+    let live_partition = store.classes();
+    let live_answers: Vec<Vec<Option<bool>>> = (0..invariants.len())
+        .map(|id| queries.iter().map(|q| store.query(id, q)).collect())
+        .collect();
+    drop(store);
+
+    let recovered = InvariantStore::open(StoreConfig::default(), backend).expect("recover");
+    assert_eq!(recovered.classes(), live_partition, "recovery changed the class partition");
+    for (id, row) in live_answers.iter().enumerate() {
+        for (q, query) in queries.iter().enumerate() {
+            assert_eq!(recovered.query(id, query), row[q], "instance {id} on {query:?}");
+        }
+    }
+}
+
+/// A panicking writer must not wedge the store: after every table lock and
+/// every memo shard lock has been poisoned, concurrent readers and writers
+/// still complete with oracle-correct answers, and the recoveries are
+/// visible in the stats.
+#[test]
+fn poisoned_locks_degrade_without_wedging() {
+    let invariants = stress_batch();
+    let queries = query_mix();
+    let store = InvariantStore::default();
+    let half = invariants.len() / 2;
+    for invariant in &invariants[..half] {
+        store.ingest_invariant(invariant.clone());
+    }
+    store.poison_classes_lock();
+    store.poison_memo_locks();
+
+    std::thread::scope(|s| {
+        let store = &store;
+        let writer = s.spawn(move || {
+            for invariant in &invariants[half..] {
+                store.ingest_invariant(invariant.clone());
+            }
+        });
+        for r in 0..READERS {
+            let queries = &queries;
+            s.spawn(move || {
+                for round in 0..3 {
+                    let visible = store.instance_count();
+                    for id in 0..visible {
+                        let id = (id + r * 5 + round) % visible;
+                        for query in queries {
+                            assert!(
+                                store.query(id, query).is_some(),
+                                "a poisoned lock must not eat instance {id}"
+                            );
+                        }
+                    }
+                }
+            });
+        }
+        writer.join().expect("writer survived the poison");
+    });
+
+    let stats = store.stats();
+    assert!(stats.lock_recoveries > 0, "the poison must have been recovered: {stats:?}");
+    assert_eq!(stats.instances, stress_batch().len(), "no ingest lost to poisoning");
+    for (id, invariant) in stress_batch().iter().enumerate() {
+        for query in &queries {
+            assert_eq!(store.query(id, query), Some(evaluate_on_invariant(query, invariant)));
+        }
+    }
+}
+
+/// With a lock budget configured, readers must make progress even while the
+/// entire memo is frozen under write locks — falling back to un-memoised
+/// evaluation — and return to normal memoisation once the memo thaws.
+#[test]
+fn frozen_memo_falls_back_within_budget() {
+    let invariants = stress_batch();
+    let queries = query_mix();
+    let store =
+        InvariantStore::new(StoreConfig { memo_lock_budget: Some(16), ..StoreConfig::default() });
+    for invariant in &invariants {
+        store.ingest_invariant(invariant.clone());
+    }
+    let expected: Vec<Vec<bool>> = invariants
+        .iter()
+        .map(|invariant| queries.iter().map(|q| evaluate_on_invariant(q, invariant)).collect())
+        .collect();
+
+    store.with_memo_frozen(|| {
+        std::thread::scope(|s| {
+            for r in 0..READERS {
+                let (store, queries, expected) = (&store, &queries, &expected);
+                s.spawn(move || {
+                    for step in 0..expected.len() {
+                        let id = (step + r * 3) % expected.len();
+                        for (q, query) in queries.iter().enumerate() {
+                            assert_eq!(
+                                store.query(id, query),
+                                Some(expected[id][q]),
+                                "frozen-memo fallback changed an answer"
+                            );
+                        }
+                    }
+                });
+            }
+        });
+    });
+    let frozen = store.stats();
+    assert!(frozen.fallback_evals > 0, "the freeze must have forced fallbacks: {frozen:?}");
+    assert_eq!(
+        frozen.memo_hits + frozen.memo_misses,
+        (READERS * invariants.len() * queries.len()) as u64,
+        "fallback queries still count"
+    );
+
+    // Thawed: the memo serves hits again.
+    for (id, row) in expected.iter().enumerate() {
+        for (q, query) in queries.iter().enumerate() {
+            assert_eq!(store.query(id, query), Some(row[q]));
+        }
+    }
+    for (id, row) in expected.iter().enumerate() {
+        for (q, query) in queries.iter().enumerate() {
+            assert_eq!(store.query(id, query), Some(row[q]));
+        }
+    }
+    assert!(store.stats().memo_hits > frozen.memo_hits, "the thawed memo must serve hits");
 }
 
 /// Normalises a partition for set comparison: members sorted within
