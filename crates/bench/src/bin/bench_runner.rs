@@ -15,12 +15,17 @@
 //! ingest throughput, then the same query sweep against a memoising store
 //! and the memo-disabled baseline. A fifth stage measures the durability
 //! layer: WAL-logged ingest, WAL replay, snapshot write/load, and mixed
-//! snapshot+WAL recovery at three workload sizes. `BENCH_7.json` at the
-//! repository root is the committed baseline (`BENCH_6.json`/
-//! `BENCH_5.json`/`BENCH_4.json`/`BENCH_3.json`/`BENCH_2.json` record the
-//! earlier trajectory; BENCHMARKS.md tabulates it); see DESIGN.md,
-//! "Performance", "Canonicalisation", "Datalog engine", "Invariant store"
-//! and "Durability & degradation".
+//! snapshot+WAL recovery at three workload sizes. A sixth stage sweeps the
+//! in-tree thread pool (`topo-parallel`) over pool sizes 1/2/4/8: end-to-end
+//! `top(I)`, cold canonicalisation and the batched store ingest at each pool
+//! size, recording the speedup-vs-threads curve (and the host's core count,
+//! so a single-core CI run is honest about what it could measure).
+//! `BENCH_8.json` at the repository root is the committed baseline
+//! (`BENCH_7.json`/`BENCH_6.json`/`BENCH_5.json`/`BENCH_4.json`/
+//! `BENCH_3.json`/`BENCH_2.json` record the earlier trajectory;
+//! BENCHMARKS.md tabulates it); see DESIGN.md, "Performance",
+//! "Canonicalisation", "Datalog engine", "Invariant store", "Durability &
+//! degradation" and "Parallelism".
 //!
 //! ```text
 //! bench_runner [--quick] [--out PATH]
@@ -77,6 +82,13 @@ const STORE_COPIES_QUICK: usize = 20;
 /// Full passes over every (instance, query) pair each query thread makes.
 const STORE_QUERY_ROUNDS: usize = 2;
 const STORE_QUERY_ROUNDS_QUICK: usize = 1;
+/// Pool sizes the parallel stage sweeps (1 is the sequential fallback and the
+/// baseline every speedup is measured against).
+const PARALLEL_THREADS: [usize; 4] = [1, 2, 4, 8];
+/// Workload grid for the parallel stage: the largest construction scale (the
+/// hot case the pool exists for), smaller in quick mode.
+const PARALLEL_GRID: usize = 28;
+const PARALLEL_GRID_QUICK: usize = 12;
 
 struct ScaleReport {
     grid: usize,
@@ -623,6 +635,82 @@ fn measure_persist(quick: bool) -> Vec<RecoveryReport> {
     out
 }
 
+/// The parallel stage at one pool size.
+struct ParallelReport {
+    threads: usize,
+    top_ns: u128,
+    canonical_ns: u128,
+    batch_ingest_ns: u128,
+}
+
+/// The whole parallel stage: the sweep plus the context needed to read it.
+struct ParallelStage {
+    host_threads: usize,
+    grid: usize,
+    cells: usize,
+    batch_size: usize,
+    samples: usize,
+    sweep: Vec<ParallelReport>,
+}
+
+impl ParallelStage {
+    fn baseline(&self) -> &ParallelReport {
+        self.sweep.iter().find(|r| r.threads == 1).expect("sweep includes 1 thread")
+    }
+}
+
+/// Sweeps the in-tree thread pool over [`PARALLEL_THREADS`], measuring the
+/// end-to-end `top(I)` build, a cold canonicalisation and the batched store
+/// ingest at each pool size on the hydro workload (the grid-28 case the
+/// ROADMAP names). The pool size is set via
+/// `topo_parallel::set_global_threads` — the same switch `TOPO_THREADS`
+/// feeds — and restored afterwards. On a host with fewer cores than the
+/// sweep asks for, the curve goes flat instead of up; `host_threads` in the
+/// JSON records how many cores the numbers were measured on.
+fn measure_parallel(quick: bool) -> ParallelStage {
+    let grid = if quick { PARALLEL_GRID_QUICK } else { PARALLEL_GRID };
+    let samples = if quick { 3 } else { 5 };
+    let instance = sequoia_hydro(Scale { grid }, SEED);
+    let cells = topo_core::top(&instance).cell_count();
+
+    // The batch the store stage ingests at each pool size: homeomorphic
+    // copies of three small bases, so canonicalisation dominates and the
+    // dedup path is exercised.
+    let small = Scale { grid: 4 };
+    let bases = [sequoia_landcover(small, SEED), sequoia_hydro(small, SEED), ign_city(small, SEED)];
+    let mut batch: Vec<SpatialInstance> = Vec::new();
+    for k in 0..8usize {
+        let map = AffineMap::translation(k as i64 * 130_001, -(k as i64) * 70_003);
+        for base in &bases {
+            batch.push(map.apply_instance(base));
+        }
+    }
+
+    let previous = topo_core::parallel::global_threads();
+    let mut sweep = Vec::new();
+    for &threads in &PARALLEL_THREADS {
+        topo_core::parallel::set_global_threads(threads);
+        let top_ns = median_ns(samples, || topo_core::top(&instance));
+        let canonical_ns = median_ns_with(
+            samples,
+            || topo_core::top(&instance),
+            |invariant| {
+                invariant.canonical_code();
+                invariant
+            },
+        );
+        let batch_ingest_ns = median_ns_with(samples, InvariantStore::default, |store| {
+            store.try_ingest_batch(&batch);
+            store
+        });
+        sweep.push(ParallelReport { threads, top_ns, canonical_ns, batch_ingest_ns });
+    }
+    topo_core::parallel::set_global_threads(previous);
+
+    let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    ParallelStage { host_threads, grid, cells, batch_size: batch.len(), samples, sweep }
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -641,7 +729,7 @@ fn main() {
             if quick {
                 "BENCH_quick.json".to_string()
             } else {
-                "BENCH_7.json".to_string()
+                "BENCH_8.json".to_string()
             }
         });
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -659,7 +747,7 @@ fn main() {
 
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"id\": \"BENCH_7\",\n");
+    out.push_str("  \"id\": \"BENCH_8\",\n");
     out.push_str(
         "  \"description\": \"top(I) construction, canonicalisation, datalog query \
          evaluation and the concurrent invariant store: per-stage medians and speedups vs \
@@ -675,7 +763,11 @@ fn main() {
          the memo-disabled baseline (speedup = memo_qps / nomemo_qps); the recovery \
          section measures the snapshot + WAL durability layer on the in-memory backend \
          at three workload sizes: WAL-logged ingest and replay throughput, snapshot \
-         write/load, and a mixed snapshot+WAL recovery; samples objects \
+         write/load, and a mixed snapshot+WAL recovery; the parallel section sweeps the \
+         in-tree topo-parallel pool over 1/2/4/8 threads on the hydro workload — \
+         end-to-end top(I), cold canonicalisation and the batched store ingest per pool \
+         size, with host_threads recording how many cores the sweep actually had (on a \
+         single-core host the curve is honestly flat); samples objects \
          record the sample counts actually used per median; naive medians are null where \
          the reference path is intractable\",\n",
     );
@@ -915,6 +1007,55 @@ fn main() {
         out.push_str(&format!("        \"mixed_recover_ns\": {},\n", r.mixed_recover_ns));
         out.push_str(&format!("        \"samples\": {}\n", r.samples));
         out.push_str(if i + 1 < recovery.len() { "      },\n" } else { "      }\n" });
+    }
+    out.push_str("    ]\n");
+    out.push_str("  },\n");
+
+    // The thread-pool sweep: speedup-vs-threads curves for the parallel
+    // construction pipeline and the batched store ingest.
+    eprintln!("== parallel stage ==");
+    let parallel = measure_parallel(quick);
+    let base = parallel.baseline();
+    let (base_top, base_canonical, base_batch) =
+        (base.top_ns, base.canonical_ns, base.batch_ingest_ns);
+    eprintln!(
+        "  hydro grid {} ({} cells), batch of {} instances, host threads {}",
+        parallel.grid, parallel.cells, parallel.batch_size, parallel.host_threads,
+    );
+    out.push_str("  \"parallel\": {\n");
+    out.push_str(&format!("    \"host_threads\": {},\n", parallel.host_threads));
+    out.push_str("    \"workload\": \"sequoia_hydro\",\n");
+    out.push_str(&format!("    \"grid\": {},\n", parallel.grid));
+    out.push_str(&format!("    \"cells\": {},\n", parallel.cells));
+    out.push_str(&format!("    \"batch_size\": {},\n", parallel.batch_size));
+    out.push_str(&format!("    \"samples\": {},\n", parallel.samples));
+    out.push_str("    \"sweep\": [\n");
+    for (i, r) in parallel.sweep.iter().enumerate() {
+        let speedup = |baseline: u128, ns: u128| baseline as f64 / ns as f64;
+        eprintln!(
+            "  threads {:>2}: top {:>12} ns ({:.2}x)  canonical {:>12} ns ({:.2}x)  \
+             batch ingest {:>12} ns ({:.2}x)",
+            r.threads,
+            r.top_ns,
+            speedup(base_top, r.top_ns),
+            r.canonical_ns,
+            speedup(base_canonical, r.canonical_ns),
+            r.batch_ingest_ns,
+            speedup(base_batch, r.batch_ingest_ns),
+        );
+        out.push_str("      {\n");
+        out.push_str(&format!("        \"threads\": {},\n", r.threads));
+        out.push_str(&format!("        \"top_ns\": {},\n", r.top_ns));
+        out.push_str(&format!("        \"canonical_ns\": {},\n", r.canonical_ns));
+        out.push_str(&format!("        \"batch_ingest_ns\": {},\n", r.batch_ingest_ns));
+        out.push_str(&format!(
+            "        \"speedup_vs_1\": {{\"top\": {:.2}, \"canonical\": {:.2}, \
+             \"batch_ingest\": {:.2}}}\n",
+            speedup(base_top, r.top_ns),
+            speedup(base_canonical, r.canonical_ns),
+            speedup(base_batch, r.batch_ingest_ns),
+        ));
+        out.push_str(if i + 1 < parallel.sweep.len() { "      },\n" } else { "      }\n" });
     }
     out.push_str("    ]\n");
     out.push_str("  }\n}\n");

@@ -45,6 +45,7 @@ pub use topo_arrangement as arrangement;
 pub use topo_datagen as datagen;
 pub use topo_geometry as geometry;
 pub use topo_invariant as invariant;
+pub use topo_parallel as parallel;
 pub use topo_queries as queries;
 pub use topo_relational as relational;
 pub use topo_spatial as spatial;

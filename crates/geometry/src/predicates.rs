@@ -16,15 +16,78 @@ pub enum Orientation {
 
 /// Exact orientation test for the triple `(a, b, c)`.
 ///
-/// Returns the sign of the cross product `(b - a) × (c - a)`.
+/// Returns the sign of the cross product `(b - a) × (c - a)`, layered from
+/// cheapest to most general: integer coordinates (the overwhelmingly common
+/// case in cartographic data) are decided exactly in checked `i128` — turns
+/// *and* collinearity, with no conversions; fractional coordinates go through
+/// a Shewchuk-style floating-point filter that certifies clear turns without
+/// rational arithmetic; near-degenerate fractional triples and any `i128`
+/// overflow fall through to the exact rational cross product, so the result
+/// is exact in every case.
 pub fn orientation(a: &Point, b: &Point, c: &Point) -> Orientation {
-    let (abx, aby) = b.sub(a);
-    let (acx, acy) = c.sub(a);
-    let cross = abx * acy - aby * acx;
-    match cross.signum() {
+    if crate::rational::fast_paths() {
+        if let Some(o) = orientation_int(a, b, c) {
+            return o;
+        }
+        if let Some(o) = orientation_filter(a, b, c) {
+            return o;
+        }
+    }
+    match cross(a, b, c).signum() {
         1 => Orientation::CounterClockwise,
         -1 => Orientation::Clockwise,
         _ => Orientation::Collinear,
+    }
+}
+
+/// Exact integer orientation: when all six coordinates have denominator 1,
+/// the determinant is a plain `i128` expression. Checked arithmetic keeps it
+/// exact — any overflow (coordinates beyond ~2⁶²) declines and lets the
+/// filter/rational layers take over. Unlike the float filter this path
+/// *decides* collinear triples, which dominate street-network workloads.
+fn orientation_int(a: &Point, b: &Point, c: &Point) -> Option<Orientation> {
+    let ax = a.x.as_integer()?;
+    let ay = a.y.as_integer()?;
+    let bx = b.x.as_integer()?;
+    let by = b.y.as_integer()?;
+    let cx = c.x.as_integer()?;
+    let cy = c.y.as_integer()?;
+    let l = bx.checked_sub(ax)?.checked_mul(cy.checked_sub(ay)?)?;
+    let r = by.checked_sub(ay)?.checked_mul(cx.checked_sub(ax)?)?;
+    Some(match l.checked_sub(r)?.signum() {
+        1 => Orientation::CounterClockwise,
+        -1 => Orientation::Clockwise,
+        _ => Orientation::Collinear,
+    })
+}
+
+/// Floating-point orientation filter: evaluates the cross product on `f64`
+/// approximations of the coordinates and certifies the sign when its
+/// magnitude exceeds a conservative bound on the accumulated rounding error.
+///
+/// Error budget with ε = 2⁻⁵³ per rounding and m = the largest coordinate
+/// magnitude: each `Rational::to_f64` costs ≤ 3ε relative error, each
+/// difference then carries ≤ 9εm absolute error, each product ≤ 42εm², and
+/// the final subtraction stays under 100εm² in total. The bound allows
+/// 256εm², so a determinant beyond it has a certain sign; anything closer —
+/// including every exactly collinear triple — returns `None` for the exact
+/// path to settle.
+fn orientation_filter(a: &Point, b: &Point, c: &Point) -> Option<Orientation> {
+    let (ax, ay) = (a.x.to_f64(), a.y.to_f64());
+    let (bx, by) = (b.x.to_f64(), b.y.to_f64());
+    let (cx, cy) = (c.x.to_f64(), c.y.to_f64());
+    let det = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax);
+    let m = ax.abs().max(ay.abs()).max(bx.abs()).max(by.abs()).max(cx.abs()).max(cy.abs());
+    let bound = 256.0 * (f64::EPSILON / 2.0) * m * m;
+    if !det.is_finite() || !bound.is_finite() {
+        return None;
+    }
+    if det > bound {
+        Some(Orientation::CounterClockwise)
+    } else if det < -bound {
+        Some(Orientation::Clockwise)
+    } else {
+        None
     }
 }
 
@@ -87,5 +150,87 @@ mod tests {
         let c = Point::from_ints(1, 2);
         assert!(cross(&a, &b, &c).signum() > 0);
         assert_eq!(orientation(&a, &b, &c), Orientation::CounterClockwise);
+    }
+
+    /// Coordinates near 2⁷⁰ overflow the checked-`i128` integer path (the
+    /// determinant products reach 2¹⁴⁰), so these clear turns must be settled
+    /// by the float filter — the exact rational fallback would abort on the
+    /// same overflow, so reaching it here would panic, not just slow down.
+    #[test]
+    fn orientation_filter_settles_turns_beyond_the_integer_window() {
+        let big = Rational::new(1i128 << 70, 1);
+        let zero = Rational::from_int(0);
+        let a = Point::new(zero, zero);
+        let b = Point::new(big, big);
+        let turn = Point::new(big, zero);
+        assert_eq!(orientation(&a, &b, &turn), Orientation::Clockwise);
+        assert_eq!(orientation(&a, &turn, &b), Orientation::CounterClockwise);
+    }
+
+    mod filter_agreement {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// The sign of the exact rational cross product is the oracle the
+        /// filtered orientation must match.
+        fn exact_orientation(a: &Point, b: &Point, c: &Point) -> Orientation {
+            match cross(a, b, c).signum() {
+                1 => Orientation::CounterClockwise,
+                -1 => Orientation::Clockwise,
+                _ => Orientation::Collinear,
+            }
+        }
+
+        /// Moderate mixed coordinates: integers and `den > 1` fractions sized
+        /// so the exact rational cross product never overflows `i128`.
+        fn coord() -> impl Strategy<Value = Rational> {
+            (0u8..2, -1_000_000i64..1_000_000, 1i64..1000).prop_map(|(kind, n, d)| match kind {
+                0 => Rational::from_int(n),
+                _ => Rational::new(n as i128, d as i128),
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn prop_filtered_orientation_matches_exact_cross(
+                ax in coord(), ay in coord(), bx in coord(),
+                by in coord(), cx in coord(), cy in coord(),
+            ) {
+                let a = Point::new(ax, ay);
+                let b = Point::new(bx, by);
+                let c = Point::new(cx, cy);
+                prop_assert_eq!(orientation(&a, &b, &c), exact_orientation(&a, &b, &c));
+            }
+
+            #[test]
+            fn prop_filter_certain_at_large_integer_scale(
+                ax in -1_000_000i64..1_000_000, ay in -1_000_000i64..1_000_000,
+                bx in -1_000_000i64..1_000_000, by in -1_000_000i64..1_000_000,
+                cx in -1_000_000i64..1_000_000, cy in -1_000_000i64..1_000_000,
+            ) {
+                // Scale integer coordinates up to ~2^60, where the f64 filter
+                // carries real rounding error but its bound must still only
+                // certify correct signs.
+                let scale = |n: i64| Rational::new((n as i128) << 40, 1);
+                let a = Point::new(scale(ax), scale(ay));
+                let b = Point::new(scale(bx), scale(by));
+                let c = Point::new(scale(cx), scale(cy));
+                prop_assert_eq!(orientation(&a, &b, &c), exact_orientation(&a, &b, &c));
+            }
+
+            #[test]
+            fn prop_exactly_collinear_triples_survive_the_filter(
+                ax in coord(), ay in coord(), dx in coord(), dy in coord(),
+                t in -50i64..50, u in 1i64..7,
+            ) {
+                // c = a + (t/u)·(b − a) is exactly collinear with a and b, so
+                // the filter must decline and the exact path must say so.
+                let a = Point::new(ax, ay);
+                let b = Point::new(ax + dx, ay + dy);
+                let s = Rational::new(t as i128, u as i128);
+                let c = Point::new(ax + s * dx, ay + s * dy);
+                prop_assert_eq!(orientation(&a, &b, &c), Orientation::Collinear);
+            }
+        }
     }
 }

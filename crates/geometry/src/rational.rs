@@ -66,8 +66,10 @@ pub mod slow_mode {
 
 /// True when the small-value fast paths may be taken. Constant `true` in
 /// normal builds; consults [`slow_mode`] under the `naive-reference` feature.
+/// `pub(crate)` so the geometric predicates can gate their floating-point
+/// filters on the same switch.
 #[inline(always)]
-fn fast_paths() -> bool {
+pub(crate) fn fast_paths() -> bool {
     #[cfg(feature = "naive-reference")]
     {
         !slow_mode::active()
@@ -131,6 +133,30 @@ fn wide_mul(a: i128, b: i128) -> (i8, u128, u128) {
     (sign, hi, lo)
 }
 
+/// Floating-point interval filter for the comparison `a/b vs c/d`: computes
+/// the cross products `a·d` and `c·b` in `f64` and returns the ordering when
+/// their difference exceeds a conservative bound on the accumulated rounding
+/// error, `None` when the result is too close to call exactly.
+///
+/// Error budget (ε = 2⁻⁵³ per rounding): each `i128 → f64` conversion and the
+/// product contribute ≤ 3ε relative error per cross product, and the final
+/// subtraction ≤ ε more, for under 9ε·max(|l|, |r|) absolute error in total;
+/// the bound below allows 16ε, so a difference exceeding it has a certain
+/// sign. `i128` cross products stay far below `f64::MAX`, so no overflow to
+/// infinity is possible.
+fn cmp_interval(a: &Rational, b: &Rational) -> Option<Ordering> {
+    let l = a.num as f64 * b.den as f64;
+    let r = b.num as f64 * a.den as f64;
+    let bound = 16.0 * (f64::EPSILON / 2.0) * l.abs().max(r.abs());
+    if l - r > bound {
+        Some(Ordering::Greater)
+    } else if r - l > bound {
+        Some(Ordering::Less)
+    } else {
+        None
+    }
+}
+
 /// Compare two signed 256-bit values given as (sign, hi, lo).
 fn cmp_wide(x: (i8, u128, u128), y: (i8, u128, u128)) -> Ordering {
     if x.0 != y.0 {
@@ -181,6 +207,15 @@ impl Rational {
     /// True iff the value is an integer.
     pub fn is_integer(&self) -> bool {
         self.den == 1
+    }
+
+    /// The value as an `i128` when it is an integer, `None` otherwise.
+    pub fn as_integer(&self) -> Option<i128> {
+        if self.den == 1 {
+            Some(self.num)
+        } else {
+            None
+        }
     }
 
     /// True iff the value is zero.
@@ -296,6 +331,25 @@ impl Ord for Rational {
                 (self.num.checked_mul(other.den), other.num.checked_mul(self.den))
             {
                 return l.cmp(&r);
+            }
+            // The full cross product overflowed. Fixed-ratio denominators —
+            // one a multiple of the other, as when intersection points share
+            // a refinement of the same grid — need only the quotient as a
+            // scale factor, which fits where the full product did not.
+            if other.den % self.den == 0 {
+                if let Some(l) = self.num.checked_mul(other.den / self.den) {
+                    return l.cmp(&other.num);
+                }
+            } else if self.den % other.den == 0 {
+                if let Some(r) = other.num.checked_mul(self.den / other.den) {
+                    return self.num.cmp(&r);
+                }
+            }
+            // Interval filter: conservative floating-point cross products
+            // decide the order whenever their separation exceeds the maximum
+            // rounding error, leaving only near-ties to the 256-bit fallback.
+            if let Some(ord) = cmp_interval(self, other) {
+                return ord;
             }
         }
         // Exact fallback: 256-bit widening cross products.
@@ -665,6 +719,25 @@ mod tests {
             fn prop_cmp_agrees_with_slow_path(a in huge_rational(), b in huge_rational()) {
                 let _lock = SLOW_MODE_LOCK.lock().unwrap();
                 assert!(!slow_mode::active(), "another guard leaked into the fast phase");
+                let fast = a.cmp(&b);
+                let slow = {
+                    let _guard = slow_mode::SlowGuard::new();
+                    a.cmp(&b)
+                };
+                prop_assert_eq!(fast, slow);
+            }
+
+            /// Denominators that are powers of two with one dividing the
+            /// other, and numerators big enough that the full cross product
+            /// overflows `i128`: exactly the fixed-ratio comparison layer.
+            #[test]
+            fn prop_fixed_ratio_cmp_agrees_with_slow_path(
+                n1 in -10_000i128..10_000, n2 in -10_000i128..10_000, k in 0u32..8,
+            ) {
+                let _lock = SLOW_MODE_LOCK.lock().unwrap();
+                assert!(!slow_mode::active(), "another guard leaked into the fast phase");
+                let a = Rational::new((n1 << 90) | 1, 1i128 << 70);
+                let b = Rational::new((n2 << 90) | 1, 1i128 << (70 + k));
                 let fast = a.cmp(&b);
                 let slow = {
                     let _guard = slow_mode::SlowGuard::new();

@@ -216,11 +216,19 @@ pub fn canonical_code(invariant: &TopologicalInvariant) -> CanonicalCode {
 }
 
 /// The canonical form (code + realising cell order) of an invariant.
+///
+/// The two orientation sweeps are independent and run as a pool join; within
+/// each sweep, components at the same tree depth are independent given the
+/// deeper results and fan out per chunk (see `global_form`). Every
+/// component's minimal code is a pure function of the invariant, so the
+/// result is bit-identical at any thread count.
 pub fn canonical_form(invariant: &TopologicalInvariant) -> CanonicalForm {
     let indexes = Indexes::build(invariant);
-    let mut scratch = Scratch::new(invariant);
-    let ccw = global_form(invariant, &indexes, &mut scratch, Orientation::CounterClockwise);
-    let cw = global_form(invariant, &indexes, &mut scratch, Orientation::Clockwise);
+    let pool = topo_parallel::Pool::global();
+    let (ccw, cw) = pool.join(
+        || global_form(invariant, &indexes, pool, Orientation::CounterClockwise),
+        || global_form(invariant, &indexes, pool, Orientation::Clockwise),
+    );
     let (tokens, order) = if ccw.0 <= cw.0 { ccw } else { cw };
     let schema = invariant.schema().iter().map(|(_, name)| name.to_string()).collect();
     CanonicalForm { code: CanonicalCode { schema, tokens }, order }
@@ -656,25 +664,65 @@ struct CompResult {
 fn global_form(
     inv: &TopologicalInvariant,
     idx: &Indexes,
-    scratch: &mut Scratch,
+    pool: topo_parallel::Pool,
     orientation: Orientation,
 ) -> (Vec<u32>, Vec<CellRef>) {
     let ncomp = inv.components().len();
     let nf = inv.face_count();
+    let mut scratch = Scratch::new(inv);
     let mut results: Vec<Option<CompResult>> = (0..ncomp).map(|_| None).collect();
     // face → pre-joined children blob and the children in sorted-code order.
     let mut face_blob: Vec<Vec<u32>> = vec![Vec::new(); nf];
     let mut face_child_order: Vec<Vec<ComponentId>> = vec![Vec::new(); nf];
 
-    for &c in &idx.by_depth {
-        // All deeper components are finished; join the children embedded in
-        // each face owned by `c` into one sorted-multiset blob.
-        for &f in &idx.owned_faces[c] {
-            let (blob, order) = join_children(&idx.children[f], &results);
-            face_blob[f] = blob;
-            face_child_order[f] = order;
+    // `by_depth` is sorted deepest-first; components at equal depth are
+    // mutually independent given the deeper results, so each depth level
+    // joins its children blobs sequentially (cheap) and then sweeps its
+    // components on the pool. Each component's minimal code is a pure
+    // function of `(inv, idx, component, orientation, face_blob)`, results
+    // are keyed by component id, and scratch state is per chunk — the level
+    // output is bit-identical to the sequential sweep at any thread count.
+    let mut level_start = 0usize;
+    while level_start < ncomp {
+        let depth = inv.components()[idx.by_depth[level_start]].depth;
+        let mut level_end = level_start + 1;
+        while level_end < ncomp && inv.components()[idx.by_depth[level_end]].depth == depth {
+            level_end += 1;
         }
-        results[c] = Some(component_code(inv, idx, scratch, c, orientation, &face_blob));
+        let level = &idx.by_depth[level_start..level_end];
+        for &c in level {
+            // All deeper components are finished; join the children embedded
+            // in each face owned by `c` into one sorted-multiset blob.
+            for &f in &idx.owned_faces[c] {
+                let (blob, order) = join_children(&idx.children[f], &results);
+                face_blob[f] = blob;
+                face_child_order[f] = order;
+            }
+        }
+        if level.len() > 1 && pool.is_parallel() {
+            // One scratch per chunk (scratch buffers are sized by the whole
+            // invariant, so chunks are capped near the thread count).
+            let min_chunk = level.len().div_ceil(pool.threads());
+            let computed: Vec<Vec<(ComponentId, CompResult)>> =
+                pool.par_chunks(level, min_chunk, |_, chunk| {
+                    let mut local = Scratch::new(inv);
+                    chunk
+                        .iter()
+                        .map(|&c| {
+                            (c, component_code(inv, idx, &mut local, c, orientation, &face_blob))
+                        })
+                        .collect()
+                });
+            for (c, result) in computed.into_iter().flatten() {
+                results[c] = Some(result);
+            }
+        } else {
+            for &c in level {
+                results[c] =
+                    Some(component_code(inv, idx, &mut scratch, c, orientation, &face_blob));
+            }
+        }
+        level_start = level_end;
     }
 
     // Top level: the components embedded in the exterior face.

@@ -183,6 +183,69 @@ impl Complex {
         f
     }
 
+    /// Resolves every face id to its representative in one memoised pass:
+    /// `resolved[f] == find_face(f)` for all ids, computed in time linear in
+    /// the id space instead of one parent-chain walk per lookup. The freeze
+    /// path ([`crate::TopologicalInvariant::from_complex`]) uses this to
+    /// replace its per-reference `find_face` calls.
+    pub fn resolved_faces(&self) -> Vec<CellId> {
+        let n = self.face_parent.len();
+        const UNRESOLVED: CellId = usize::MAX;
+        let mut resolved: Vec<CellId> = vec![UNRESOLVED; n];
+        let mut path: Vec<CellId> = Vec::new();
+        for f in 0..n {
+            if resolved[f] != UNRESOLVED {
+                continue;
+            }
+            let mut cur = f;
+            while self.face_parent[cur] != cur && resolved[cur] == UNRESOLVED {
+                path.push(cur);
+                cur = self.face_parent[cur];
+            }
+            let root = if resolved[cur] != UNRESOLVED { resolved[cur] } else { cur };
+            resolved[cur] = root;
+            for &p in &path {
+                resolved[p] = root;
+            }
+            path.clear();
+        }
+        resolved
+    }
+
+    // Raw (unresolved) views for the freeze path, which maps face ids
+    // through [`Complex::resolved_faces`] itself instead of paying a
+    // `find_face` walk per reference.
+
+    /// Upper bounds of the vertex / edge / face id spaces (dead ids
+    /// included), for dense freeze-side index maps.
+    pub(crate) fn id_bounds(&self) -> (usize, usize, usize) {
+        (self.vertex_alive.len(), self.edge_alive.len(), self.face_parent.len())
+    }
+
+    /// The face sectors at a vertex with *unresolved* face ids.
+    pub(crate) fn raw_sectors(&self, v: CellId) -> &[CellId] {
+        &self.vertex_sectors[v]
+    }
+
+    /// The containing face of an isolated vertex, unresolved.
+    pub(crate) fn raw_isolated_face(&self, v: CellId) -> Option<CellId> {
+        if self.vertex_slots[v].is_empty() {
+            self.vertex_face[v]
+        } else {
+            None
+        }
+    }
+
+    /// The two faces beside an edge, unresolved.
+    pub(crate) fn raw_edge_sides(&self, e: CellId) -> (CellId, CellId) {
+        self.edge_sides[e]
+    }
+
+    /// The exterior face id, unresolved.
+    pub(crate) fn raw_exterior_face(&self) -> CellId {
+        self.exterior_face
+    }
+
     /// The representative of the exterior face.
     pub fn exterior_face(&self) -> CellId {
         self.find_face(self.exterior_face)

@@ -77,24 +77,11 @@ fn complex_from_arrangement(
     // face is unbounded (the builder makes it face 0, but do not rely on it).
     complex.set_exterior_face(face_ids[arrangement.exterior_face]);
 
-    // Per-edge coverage statistics per region.
-    let ring_parity = |edge: &topo_arrangement::ArrEdge, region: usize| -> bool {
-        edge.sources
-            .iter()
-            .filter(|&&s| {
-                let tag = SourceTag::decode(s);
-                tag.region == region && tag.kind == SourceKind::RingBoundary
-            })
-            .count()
-            % 2
-            == 1
-    };
-    let polyline_covered = |edge: &topo_arrangement::ArrEdge, region: usize| -> bool {
-        edge.sources.iter().any(|&s| {
-            let tag = SourceTag::decode(s);
-            tag.region == region && tag.kind == SourceKind::Polyline
-        })
-    };
+    // Per-edge coverage statistics, batched: one pass over each edge's source
+    // tags yields the full per-region picture, instead of re-scanning and
+    // re-decoding the tag list once per (edge, region) pair inside the
+    // propagation and membership loops below.
+    let (ring_odd, poly_cov) = edge_coverage_tables(arrangement, region_count);
 
     // Face membership by breadth-first propagation from the exterior face.
     let face_count = arrangement.face_count();
@@ -116,13 +103,11 @@ fn complex_from_arrangement(
             }
             visited[g] = true;
             let mut membership = current.clone();
-            for region in 0..region_count {
-                if ring_parity(&arrangement.edges[e], region) {
-                    if membership.contains(region) {
-                        membership.remove(region);
-                    } else {
-                        membership.insert(region);
-                    }
+            for region in ring_odd[e].iter() {
+                if membership.contains(region) {
+                    membership.remove(region);
+                } else {
+                    membership.insert(region);
                 }
             }
             face_in[g] = membership;
@@ -139,14 +124,14 @@ fn complex_from_arrangement(
     // Edge membership.
     let mut edge_in: Vec<RegionSet> = Vec::with_capacity(arrangement.edge_count());
     let mut edge_bnd: Vec<RegionSet> = Vec::with_capacity(arrangement.edge_count());
-    for edge in &arrangement.edges {
+    for (e, edge) in arrangement.edges.iter().enumerate() {
         let mut in_set = RegionSet::new(region_count);
         let mut bnd_set = RegionSet::new(region_count);
         for region in 0..region_count {
             let both_faces_in = face_in[edge.face_left].contains(region)
                 && face_in[edge.face_right].contains(region);
             let in_region =
-                ring_parity(edge, region) || polyline_covered(edge, region) || both_faces_in;
+                ring_odd[e].contains(region) || poly_cov[e].contains(region) || both_faces_in;
             if in_region {
                 in_set.insert(region);
                 if !both_faces_in {
@@ -257,6 +242,41 @@ fn complex_from_arrangement(
     complex
 }
 
+/// One pass over every edge's source tags, producing per-edge region sets:
+/// `ring_odd[e]` holds the regions whose polygon rings cover edge `e` an odd
+/// number of times, `poly_cov[e]` the regions one of whose polylines covers
+/// it. Equivalent to probing each (edge, region) pair separately, but decodes
+/// every tag exactly once.
+fn edge_coverage_tables(
+    arrangement: &Arrangement,
+    region_count: usize,
+) -> (Vec<RegionSet>, Vec<RegionSet>) {
+    let mut ring_odd = Vec::with_capacity(arrangement.edge_count());
+    let mut poly_cov = Vec::with_capacity(arrangement.edge_count());
+    for edge in &arrangement.edges {
+        let mut odd = RegionSet::new(region_count);
+        let mut cov = RegionSet::new(region_count);
+        for &s in &edge.sources {
+            let tag = SourceTag::decode(s);
+            match tag.kind {
+                SourceKind::RingBoundary => {
+                    // Toggling tracks the parity of the coverage count.
+                    if odd.contains(tag.region) {
+                        odd.remove(tag.region);
+                    } else {
+                        odd.insert(tag.region);
+                    }
+                }
+                SourceKind::Polyline => cov.insert(tag.region),
+                SourceKind::IsolatedPoint => {}
+            }
+        }
+        ring_odd.push(odd);
+        poly_cov.push(cov);
+    }
+    (ring_odd, poly_cov)
+}
+
 /// Mutable access to a face's membership set. Kept as a free function so the
 /// complex does not expose general mutation of memberships.
 fn complex_face_membership(complex: &mut Complex, face: usize) -> &mut RegionSet {
@@ -351,6 +371,45 @@ mod tests {
             }
         }
         assert!(point_found);
+    }
+
+    #[test]
+    fn batched_coverage_matches_per_pair_probing() {
+        // The batched one-pass tables must agree, per (edge, region) pair,
+        // with the straightforward probe that re-scans the source tag list.
+        let mut overlap = Region::rectangle(0, 0, 10, 10);
+        overlap.add_ring(vec![p(5, 0), p(15, 0), p(15, 10), p(5, 10)]); // shares [5,10]×{0,10} parity games
+        let mut instance = SpatialInstance::new(Schema::from_names(["A", "B", "L", "D"]));
+        instance.set_region(0, overlap);
+        instance.set_region(1, Region::rectangle(5, 5, 20, 20));
+        instance.set_region(2, Region::polyline(vec![p(-5, 7), p(25, 7), p(25, -5)]));
+        instance.set_region(3, Region::point_set(vec![p(2, 2), p(30, 30)]));
+        let input = instance.to_arrangement_input();
+        let arrangement = build_arrangement(&input);
+        let region_count = instance.schema().len();
+
+        let (ring_odd, poly_cov) = edge_coverage_tables(&arrangement, region_count);
+        assert!(arrangement.edge_count() > 0);
+        for (e, edge) in arrangement.edges.iter().enumerate() {
+            for region in 0..region_count {
+                let probe_ring = edge
+                    .sources
+                    .iter()
+                    .filter(|&&s| {
+                        let tag = SourceTag::decode(s);
+                        tag.region == region && tag.kind == SourceKind::RingBoundary
+                    })
+                    .count()
+                    % 2
+                    == 1;
+                let probe_poly = edge.sources.iter().any(|&s| {
+                    let tag = SourceTag::decode(s);
+                    tag.region == region && tag.kind == SourceKind::Polyline
+                });
+                assert_eq!(ring_odd[e].contains(region), probe_ring, "edge {e} region {region}");
+                assert_eq!(poly_cov[e].contains(region), probe_poly, "edge {e} region {region}");
+            }
+        }
     }
 
     #[test]

@@ -197,28 +197,45 @@ impl InvariantParts {
 
 impl TopologicalInvariant {
     /// Freezes a (reduced or unreduced) complex into an invariant.
+    ///
+    /// The renumbering is flat: complex cell ids are dense, so the live-cell
+    /// index maps are plain vectors rather than hash maps, and every face
+    /// reference goes through one memoised [`Complex::resolved_faces`] table
+    /// instead of a union-find parent-chain walk per lookup.
     pub fn from_complex(complex: &Complex, schema: Schema) -> Self {
-        // Compact renumbering of live cells.
+        // Compact renumbering of live cells over the dense id spaces
+        // (`usize::MAX` marks dead ids, which are never referenced).
         let live_vertices = complex.live_vertices();
         let live_edges = complex.live_edges();
         let live_faces = complex.live_faces();
-        let vmap: std::collections::HashMap<usize, usize> =
-            live_vertices.iter().enumerate().map(|(i, &v)| (v, i)).collect();
-        let emap: std::collections::HashMap<usize, usize> =
-            live_edges.iter().enumerate().map(|(i, &e)| (e, i)).collect();
-        let fmap: std::collections::HashMap<usize, usize> =
-            live_faces.iter().enumerate().map(|(i, &f)| (f, i)).collect();
+        let (vertex_ids, edge_ids, face_ids) = complex.id_bounds();
+        let mut vmap = vec![usize::MAX; vertex_ids];
+        for (i, &v) in live_vertices.iter().enumerate() {
+            vmap[v] = i;
+        }
+        let mut emap = vec![usize::MAX; edge_ids];
+        for (i, &e) in live_edges.iter().enumerate() {
+            emap[e] = i;
+        }
+        // `live_faces` holds representative ids, so indexing the resolved
+        // table by any raw face id lands on a mapped slot.
+        let resolved = complex.resolved_faces();
+        let mut fmap = vec![usize::MAX; face_ids];
+        for (i, &f) in live_faces.iter().enumerate() {
+            fmap[f] = i;
+        }
+        let face_of = |f: usize| fmap[resolved[f]];
 
         let vertex_slots: Vec<Vec<(usize, u8)>> = live_vertices
             .iter()
-            .map(|&v| complex.slots(v).iter().map(|&(e, end)| (emap[&e], end)).collect())
+            .map(|&v| complex.slots(v).iter().map(|&(e, end)| (emap[e], end)).collect())
             .collect();
         let vertex_sectors: Vec<Vec<usize>> = live_vertices
             .iter()
-            .map(|&v| complex.sectors(v).iter().map(|f| fmap[f]).collect())
+            .map(|&v| complex.raw_sectors(v).iter().map(|&f| face_of(f)).collect())
             .collect();
         let vertex_isolated_face: Vec<Option<usize>> =
-            live_vertices.iter().map(|&v| complex.isolated_face(v).map(|f| fmap[&f])).collect();
+            live_vertices.iter().map(|&v| complex.raw_isolated_face(v).map(face_of)).collect();
         let vertex_regions: Vec<RegionSet> =
             live_vertices.iter().map(|&v| complex.vertex_regions(v).clone()).collect();
         let vertex_boundary: Vec<RegionSet> =
@@ -226,13 +243,13 @@ impl TopologicalInvariant {
 
         let edge_ends: Vec<Option<(usize, usize)>> = live_edges
             .iter()
-            .map(|&e| complex.edge_ends(e).map(|(a, b)| (vmap[&a], vmap[&b])))
+            .map(|&e| complex.edge_ends(e).map(|(a, b)| (vmap[a], vmap[b])))
             .collect();
         let edge_sides: Vec<(usize, usize)> = live_edges
             .iter()
             .map(|&e| {
-                let (a, b) = complex.edge_sides(e);
-                (fmap[&a], fmap[&b])
+                let (a, b) = complex.raw_edge_sides(e);
+                (face_of(a), face_of(b))
             })
             .collect();
         let edge_regions: Vec<RegionSet> =
@@ -242,7 +259,7 @@ impl TopologicalInvariant {
 
         let face_regions: Vec<RegionSet> =
             live_faces.iter().map(|&f| complex.face_regions(f).clone()).collect();
-        let exterior_face = fmap[&complex.exterior_face()];
+        let exterior_face = face_of(complex.raw_exterior_face());
 
         let mut invariant = TopologicalInvariant {
             schema,

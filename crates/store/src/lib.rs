@@ -547,6 +547,113 @@ impl InvariantStore {
         }
     }
 
+    /// Batched [`ingest`](Self::ingest): builds and canonicalises every
+    /// invariant across the global thread pool (outside any lock), then
+    /// admits the whole batch in order under one critical section with a
+    /// single amortised WAL append. Ids are assigned in batch order, so the
+    /// result is exactly what a sequential `ingest` loop over the same
+    /// slice would return.
+    ///
+    /// # Panics
+    /// Panics if the admission policy rejects any instance (only possible
+    /// with a bounded [`StoreConfig::max_classes`]); bounded stores should
+    /// use [`try_ingest_batch`](Self::try_ingest_batch).
+    pub fn ingest_batch(&self, instances: &[SpatialInstance]) -> Vec<InstanceId> {
+        self.try_ingest_batch(instances)
+            .into_iter()
+            .map(|outcome| match outcome {
+                IngestOutcome::Admitted(id) | IngestOutcome::Deduplicated(id) => id,
+                IngestOutcome::Rejected => panic!(
+                    "InvariantStore::ingest_batch rejected: class table at max_classes ({}); \
+                     use try_ingest_batch to handle admission",
+                    self.config.max_classes
+                ),
+            })
+            .collect()
+    }
+
+    /// Admission-checked batched ingest; see
+    /// [`ingest_batch`](Self::ingest_batch). Outcomes are reported per
+    /// instance, in batch order, with the same admission semantics as a
+    /// sequential
+    /// [`try_ingest`](Self::try_ingest) loop: a rejected instance stores
+    /// nothing and consumes no id, and later instances still proceed.
+    pub fn try_ingest_batch(&self, instances: &[SpatialInstance]) -> Vec<IngestOutcome> {
+        let pool = topo_parallel::Pool::global();
+        // The expensive half — building and canonicalising the invariants —
+        // runs across the pool with no store lock held.
+        let invariants: Vec<Arc<TopologicalInvariant>> = pool.par_map_collect(instances, |inst| {
+            let invariant = Arc::new(top(inst));
+            invariant.code_hash();
+            invariant.canonical_code();
+            invariant
+        });
+        self.try_ingest_invariant_batch(&invariants)
+    }
+
+    /// Batched analogue of
+    /// [`try_ingest_invariant`](Self::try_ingest_invariant): canonicalises
+    /// every invariant across the thread pool first (cached on the
+    /// invariants, so this is free for invariants that already carry their
+    /// codes), then admits them in batch order under one critical section,
+    /// appending all WAL records in a single backend write. Observationally
+    /// equivalent to the sequential loop.
+    pub fn try_ingest_invariant_batch(
+        &self,
+        invariants: &[Arc<TopologicalInvariant>],
+    ) -> Vec<IngestOutcome> {
+        let pool = topo_parallel::Pool::global();
+        let hashes: Vec<CodeHash> = pool.par_map_collect(invariants, |invariant| {
+            let hash = invariant.code_hash();
+            invariant.canonical_code();
+            hash
+        });
+        let mut records: Vec<(InstanceId, ClassId, bool)> = Vec::with_capacity(invariants.len());
+        let mut outcomes = Vec::with_capacity(invariants.len());
+        // Lock order everywhere both are held: `classes` before `instances`.
+        let mut classes = write_recover(&self.classes, &self.counters);
+        let mut instances = write_recover(&self.instances, &self.counters);
+        for (invariant, &hash) in invariants.iter().zip(&hashes) {
+            let (class, admitted) = match self.locate_class(&classes, hash, invariant) {
+                Some(class) => {
+                    self.counters.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                    (class, false)
+                }
+                None => {
+                    if classes.live >= self.config.max_classes {
+                        self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                        outcomes.push(IngestOutcome::Rejected);
+                        continue;
+                    }
+                    let class = classes.reps.len();
+                    classes.reps.push(Some(invariant.clone()));
+                    classes.hashes.push(hash);
+                    classes.members.push(Vec::new());
+                    classes.by_hash.entry(hash).or_default().push(class);
+                    classes.live += 1;
+                    (class, true)
+                }
+            };
+            let id = instances.slots.len();
+            instances.slots.push(Some(class));
+            instances.live += 1;
+            classes.members[class].push(id);
+            records.push((id, class, admitted));
+            outcomes.push(if admitted {
+                IngestOutcome::Admitted(id)
+            } else {
+                IngestOutcome::Deduplicated(id)
+            });
+        }
+        if self.persistence.is_some() {
+            // One group append while both locks are held, so the WAL order is
+            // still exactly the id-assignment order: recovery always sees a
+            // prefix of the operation history.
+            self.wal_ingest_batch(&classes, &records);
+        }
+        outcomes
+    }
+
     /// Finds the class an invariant belongs to, if any: hash nomination plus
     /// cached-code confirmation. Counts refuted nominations as collisions.
     fn locate_class(

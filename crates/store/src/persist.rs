@@ -700,6 +700,53 @@ impl InvariantStore {
         self.append_framed(persistence, &enc.buf);
     }
 
+    /// Appends a batch of ingest records in **one** backend write; called
+    /// with the class/instance write locks held so seq order equals id
+    /// order. Each record is framed individually — recovery and torn-tail
+    /// truncation see exactly the record stream per-record appends would
+    /// have produced — but the frames are concatenated and handed to the
+    /// backend as a single append, amortising its per-call cost across the
+    /// batch. Backend failure is counted once per record, not propagated.
+    pub(crate) fn wal_ingest_batch(
+        &self,
+        classes: &ClassTable,
+        records: &[(InstanceId, ClassId, bool)],
+    ) {
+        let Some(persistence) = &self.persistence else { return };
+        if records.is_empty() {
+            return;
+        }
+        if persistence.broken.load(Ordering::SeqCst) {
+            self.counters.wal_errors.fetch_add(records.len() as u64, Ordering::Relaxed);
+            return;
+        }
+        let mut buf = Vec::new();
+        for &(id, class, new_class) in records {
+            let seq = persistence.seq.fetch_add(1, Ordering::SeqCst);
+            let mut enc = Enc::new();
+            enc.u8(TAG_INGEST);
+            enc.u64(seq);
+            enc.u64(id as u64);
+            enc.u64(class as u64);
+            enc.u64(classes.hashes[class].as_u64());
+            enc.u8(new_class as u8);
+            if new_class {
+                let rep = classes.reps[class].as_ref().expect("new class has a representative");
+                encode_invariant(&mut enc, rep);
+            }
+            buf.extend_from_slice(&frame(&enc.buf));
+        }
+        match persistence.backend.append_wal(&buf) {
+            Ok(()) => {
+                self.counters.wal_appends.fetch_add(records.len() as u64, Ordering::Relaxed);
+            }
+            Err(_) => {
+                persistence.broken.store(true, Ordering::SeqCst);
+                self.counters.wal_errors.fetch_add(records.len() as u64, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Appends a removal record; called with the write locks held.
     pub(crate) fn wal_remove(&self, id: InstanceId) {
         let Some(persistence) = &self.persistence else { return };
