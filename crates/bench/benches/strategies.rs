@@ -11,7 +11,7 @@ fn bench_strategies(c: &mut Criterion) {
     group.sample_size(10);
     let instance = sequoia_hydro(Scale { grid: 4 }, 11);
     let invariant = topo_core::top(&instance);
-    let structure = invariant.to_structure();
+    let structure = topo_core::program_structure(&invariant);
     let rebuilt = invert(&invariant).expect("hydro workload is invertible");
     let queries = strategy_queries();
 
@@ -30,6 +30,15 @@ fn bench_strategies(c: &mut Criterion) {
                     let out = p.run(&structure, Semantics::Stratified, usize::MAX).unwrap();
                     out.relation(&p.output).map(|r| !r.is_empty()).unwrap_or(false)
                 })
+                .count()
+        })
+    });
+    group.bench_function("ii_datalog_goal_directed", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .filter_map(|q| topo_core::datalog_program(q, instance.schema()))
+                .filter(|p| p.run_goal_boolean(&structure, Semantics::Stratified))
                 .count()
         })
     });

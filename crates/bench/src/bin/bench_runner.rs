@@ -19,38 +19,48 @@
 //! in-tree thread pool (`topo-parallel`) over pool sizes 1/2/4/8: end-to-end
 //! `top(I)`, cold canonicalisation and the batched store ingest at each pool
 //! size, recording the speedup-vs-threads curve (and the host's core count,
-//! so a single-core CI run is honest about what it could measure).
-//! `BENCH_8.json` at the repository root is the committed baseline
-//! (`BENCH_7.json`/`BENCH_6.json`/`BENCH_5.json`/`BENCH_4.json`/
-//! `BENCH_3.json`/`BENCH_2.json` record the earlier trajectory;
-//! BENCHMARKS.md tabulates it); see DESIGN.md, "Performance",
-//! "Canonicalisation", "Datalog engine", "Invariant store", "Durability &
-//! degradation" and "Parallelism".
+//! so a single-core CI run is honest about what it could measure). A seventh
+//! stage — `demand` — measures the goal-directed path introduced with the
+//! magic-set rewrite: the library's linear connectivity program under
+//! `run_goal` vs plain bottom-up `run`, against the retired quadratic
+//! connectivity program (semi-naive and the frozen naive oracle), plus a
+//! bound-goal single-source reachability demo where the rewrite's demand
+//! restriction is asymptotic, not constant-factor.
+//! `BENCH_9.json` at the repository root is the committed baseline
+//! (`BENCH_8.json`/`BENCH_7.json`/`BENCH_6.json`/`BENCH_5.json`/
+//! `BENCH_4.json`/`BENCH_3.json`/`BENCH_2.json` record the earlier
+//! trajectory; BENCHMARKS.md tabulates it); see DESIGN.md, "Performance",
+//! "Canonicalisation", "Datalog engine", "Demand-driven evaluation",
+//! "Invariant store", "Durability & degradation" and "Parallelism".
 //!
 //! ```text
-//! bench_runner [--quick] [--out PATH]
+//! bench_runner [--quick] [--stage NAME]... [--out PATH]
 //! ```
 //!
 //! `--quick` drops the sample count and skips the reference canonicalisation
 //! on the scales where it is intractable (for CI smoke coverage); the default
-//! sample count matches the committed baseline. Every median in the JSON is
-//! accompanied by the sample count actually used for it, so quick-mode
-//! records are honest about how little they measured. Requires the
-//! `naive-reference` feature:
+//! sample count matches the committed baseline. `--stage` (repeatable)
+//! restricts the run to the named stages — `construction`, `datalog`,
+//! `demand`, `store`, `recovery`, `parallel` — and the JSON records which
+//! stages were actually run, so a filtered record is honest about what it
+//! holds. Every median in the JSON is accompanied by the sample count
+//! actually used for it, so quick-mode records are honest about how little
+//! they measured. Requires the `naive-reference` feature:
 //!
 //! ```text
 //! cargo run --release -p topo-bench --features naive-reference \
-//!     --bin bench_runner -- --quick --out BENCH_ci.json
+//!     --bin bench_runner -- --quick --stage demand --out BENCH_ci.json
 //! ```
 
 use std::sync::Arc;
 use std::time::Instant;
 use topo_bench::{median_ns, median_ns_with};
 use topo_core::relational::datalog::naive as datalog_naive;
+use topo_core::relational::Term;
 use topo_core::spatial::transform::AffineMap;
 use topo_core::{
-    datalog_program, InvariantStore, MemoryBackend, Semantics, SpatialInstance, StoreConfig,
-    TopologicalInvariant, TopologicalQuery,
+    datalog_program, program_structure, quadratic_connectivity_program, Goal, InvariantStore,
+    MemoryBackend, Semantics, SpatialInstance, StoreConfig, TopologicalInvariant, TopologicalQuery,
 };
 use topo_datagen::{figure1, ign_city, nested_rings, sequoia_hydro, sequoia_landcover, Scale};
 
@@ -289,13 +299,14 @@ struct DatalogScaleReport {
 }
 
 /// Measures the `topo_queries::programs` fixpoint programs (stratified — the
-/// mode the query library evaluates under) on the invariant export of each
-/// scale: the delta-driven engine against the frozen `datalog::naive`
-/// oracle. The reference engine stops being measured for a workload once a
-/// median exceeds the time budget (its connectivity evaluation re-scans
-/// `Reach × Adj` per round, which passes minutes per run on the city
-/// workload's street-network regions); the budget-crossing scale itself is
-/// still recorded.
+/// mode the query library evaluates under) on the prepared invariant export
+/// (`program_structure`, which adds the successor scaffolding the linear
+/// connectivity program walks) of each scale: the delta-driven engine
+/// against the frozen `datalog::naive` oracle. The reference engine stops
+/// being measured for a workload once a median exceeds the time budget; the
+/// budget-crossing scale itself is still recorded. (Since the library's
+/// connectivity program became linear-size, the naive budget mostly matters
+/// for the quadratic reference program measured by the demand stage.)
 fn measure_datalog(
     gen: &dyn Fn(usize) -> SpatialInstance,
     samples: usize,
@@ -311,7 +322,7 @@ fn measure_datalog(
     for &grid in &DATALOG_GRIDS {
         let instance = gen(grid);
         let invariant = topo_core::top(&instance);
-        let structure = invariant.to_structure();
+        let structure = program_structure(&invariant);
         let mut programs = Vec::new();
         for (p, (name, query)) in queries.iter().enumerate() {
             let program = datalog_program(query, instance.schema()).expect("program available");
@@ -711,15 +722,190 @@ fn measure_parallel(quick: bool) -> ParallelStage {
     ParallelStage { host_threads, grid, cells, batch_size: batch.len(), samples, sweep }
 }
 
+/// The bound-goal single-source reachability demo at one scale: the
+/// quadratic program's `Reach` relation queried as `Reach(seed, y)`, where
+/// the magic-set rewrite restricts derivation to the seed's own component.
+struct ReachDemo {
+    seed: u32,
+    answers: usize,
+    goal_ns: u128,
+    full_ns: u128,
+}
+
+impl ReachDemo {
+    fn speedup(&self) -> f64 {
+        self.full_ns as f64 / self.goal_ns as f64
+    }
+}
+
+/// The demand stage at one scale of one workload.
+struct DemandScaleReport {
+    grid: usize,
+    cells: usize,
+    /// The library's linear connectivity program through `run_goal` (the
+    /// magic-set rewrite + semi-naive engine + goal lookup).
+    goal_ns: u128,
+    /// The same program through plain bottom-up `run`.
+    bottomup_ns: u128,
+    /// The retired quadratic connectivity program, semi-naive bottom-up —
+    /// the path BENCH_8 measured as `is_connected`.
+    quadratic_ns: u128,
+    /// The frozen naive oracle on the quadratic program, budget-capped.
+    naive_ns: Option<u128>,
+    samples: usize,
+    naive_samples: Option<usize>,
+    reach: Option<ReachDemo>,
+}
+
+impl DemandScaleReport {
+    fn goal_vs_quadratic(&self) -> f64 {
+        self.quadratic_ns as f64 / self.goal_ns as f64
+    }
+
+    fn goal_vs_bottomup(&self) -> f64 {
+        self.bottomup_ns as f64 / self.goal_ns as f64
+    }
+
+    fn goal_vs_naive(&self) -> Option<f64> {
+        self.naive_ns.map(|n| n as f64 / self.goal_ns as f64)
+    }
+}
+
+/// Measures the goal-directed demand path on each scale's prepared export:
+/// the library's linear connectivity program under `run_goal` (magic-set
+/// rewrite, then the unchanged semi-naive engine) vs plain bottom-up `run`,
+/// both against the quadratic connectivity program the query library used
+/// before this stage existed (semi-naive, and the frozen naive oracle under
+/// the usual budget). The `reach_from_seed` demo rewrites the quadratic
+/// program for the bound goal `Reach(seed, y)` — single-source instead of
+/// all-pairs reachability — which is where the rewrite's restriction is
+/// asymptotic rather than constant-factor.
+fn measure_demand(
+    gen: &dyn Fn(usize) -> SpatialInstance,
+    samples: usize,
+    quick: bool,
+) -> Vec<DemandScaleReport> {
+    let budget = if quick { NAIVE_DATALOG_BUDGET_QUICK_NS } else { NAIVE_DATALOG_BUDGET_NS };
+    let mut naive_over_budget = false;
+    let mut out = Vec::new();
+    for &grid in &DATALOG_GRIDS {
+        let instance = gen(grid);
+        let invariant = topo_core::top(&instance);
+        let structure = program_structure(&invariant);
+        let linear = datalog_program(&TopologicalQuery::IsConnected(0), instance.schema())
+            .expect("connectivity program available");
+        let goal = linear.goal_atom();
+        let goal_ns = median_ns(samples, || {
+            linear.run_goal(&goal, &structure, Semantics::Stratified, usize::MAX)
+        });
+        let bottomup_ns =
+            median_ns(samples, || linear.run(&structure, Semantics::Stratified, usize::MAX));
+        let quadratic = quadratic_connectivity_program(instance.schema(), 0);
+        let quadratic_ns =
+            median_ns(samples, || quadratic.run(&structure, Semantics::Stratified, usize::MAX));
+        let (naive_ns, naive_samples) = if naive_over_budget {
+            (None, None)
+        } else {
+            let probe = median_ns(1, || {
+                datalog_naive::run(&quadratic, &structure, Semantics::Stratified, usize::MAX)
+            });
+            let (ns, used) = if probe <= 100_000_000 {
+                let extra = samples.min(3);
+                (
+                    median_ns(extra, || {
+                        datalog_naive::run(
+                            &quadratic,
+                            &structure,
+                            Semantics::Stratified,
+                            usize::MAX,
+                        )
+                    }),
+                    extra,
+                )
+            } else {
+                (probe, 1)
+            };
+            if ns > budget {
+                naive_over_budget = true;
+            }
+            (Some(ns), Some(used))
+        };
+        // Bound-goal demo: seed from the first derived Reach tuple (any cell
+        // of the region), then Reach(seed, y) goal-directed vs the full
+        // bottom-up run + answer lookup.
+        let full = quadratic
+            .run(&structure, Semantics::Stratified, usize::MAX)
+            .expect("quadratic program runs");
+        let seed = full.relation("Reach").and_then(|r| r.sorted_tuples().first().map(|t| t[0]));
+        let reach = seed.map(|s| {
+            let reach_goal = Goal::new("Reach", vec![Term::Const(s), Term::Var(0)]);
+            let answers = quadratic
+                .run_goal(&reach_goal, &structure, Semantics::Stratified, usize::MAX)
+                .expect("goal-directed run succeeds")
+                .len();
+            let reach_goal_ns = median_ns(samples, || {
+                quadratic.run_goal(&reach_goal, &structure, Semantics::Stratified, usize::MAX)
+            });
+            let reach_full_ns = median_ns(samples, || {
+                quadratic.run(&structure, Semantics::Stratified, usize::MAX).map(|r| {
+                    topo_core::relational::datalog::magic::goal_answers(&r, "Reach", &reach_goal)
+                })
+            });
+            ReachDemo { seed: s, answers, goal_ns: reach_goal_ns, full_ns: reach_full_ns }
+        });
+        out.push(DemandScaleReport {
+            grid,
+            cells: invariant.cell_count(),
+            goal_ns,
+            bottomup_ns,
+            quadratic_ns,
+            naive_ns,
+            samples,
+            naive_samples,
+            reach,
+        });
+    }
+    out
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Stage names accepted by `--stage`, in run order.
+const STAGE_NAMES: [&str; 6] =
+    ["construction", "datalog", "demand", "store", "recovery", "parallel"];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: bench_runner [--quick] [--stage NAME]... [--out PATH]");
+        eprintln!("stages: {}", STAGE_NAMES.join(", "));
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
+    let mut selected: Vec<&str> = Vec::new();
+    for (i, arg) in args.iter().enumerate() {
+        if arg == "--stage" {
+            match args.get(i + 1).map(String::as_str) {
+                Some(name) => match STAGE_NAMES.iter().find(|s| **s == name) {
+                    Some(stage) => selected.push(stage),
+                    None => {
+                        eprintln!("unknown stage {name:?}; stages: {}", STAGE_NAMES.join(", "));
+                        std::process::exit(2);
+                    }
+                },
+                None => {
+                    eprintln!("--stage needs a name; stages: {}", STAGE_NAMES.join(", "));
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    let run_stage = |name: &str| selected.is_empty() || selected.contains(&name);
+    let stages_run: Vec<&str> = STAGE_NAMES.iter().copied().filter(|s| run_stage(s)).collect();
     // Quick mode never overwrites the committed 15-sample baseline unless
-    // the caller passes `--out BENCH_7.json` explicitly.
+    // the caller passes `--out BENCH_9.json` explicitly.
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -729,13 +915,9 @@ fn main() {
             if quick {
                 "BENCH_quick.json".to_string()
             } else {
-                "BENCH_8.json".to_string()
+                "BENCH_9.json".to_string()
             }
         });
-    if args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: bench_runner [--quick] [--out PATH]");
-        return;
-    }
     let samples = if quick { QUICK_SAMPLES } else { FULL_SAMPLES };
 
     type Workload = Box<dyn Fn(usize) -> SpatialInstance>;
@@ -745,354 +927,508 @@ fn main() {
         ("ign_city", Box::new(|grid| ign_city(Scale { grid }, SEED))),
     ];
 
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str("  \"id\": \"BENCH_8\",\n");
-    out.push_str(
+    // Each stage contributes one complete `"key": value` fragment to
+    // `sections`; joining them with commas keeps the JSON valid whichever
+    // subset of stages `--stage` selects.
+    let mut sections: Vec<String> = Vec::new();
+    let mut header = String::new();
+    header.push_str("  \"id\": \"BENCH_9\",\n");
+    header.push_str(
         "  \"description\": \"top(I) construction, canonicalisation, datalog query \
-         evaluation and the concurrent invariant store: per-stage medians and speedups vs \
-         the frozen reference paths (naive seed arrangement + slow-mode rational \
-         arithmetic; PR 2 String canonical codes; pre-PR 5 naive datalog evaluator). \
+         evaluation, the goal-directed demand path and the concurrent invariant store: \
+         per-stage medians and speedups vs the frozen reference paths (naive seed \
+         arrangement + slow-mode rational arithmetic; PR 2 String canonical codes; pre-PR 5 \
+         naive datalog evaluator; the pre-PR 9 quadratic connectivity program). \
          canonical.first is a cold canonical_code() on a fresh invariant (the lazy \
          streamed Lemma 3.1 sweep); cached/iso are per-call costs on warmed invariants; \
          giant_component records the largest skeleton component and its start-choice \
          pruning; the datalog section runs the query library's fixpoint programs \
-         (stratified) on invariant exports, semi-naive vs datalog::naive; the store \
-         section ingests a duplicate-heavy mix into the InvariantStore from scoped \
-         threads and runs one query sweep against the memoising store and one against \
-         the memo-disabled baseline (speedup = memo_qps / nomemo_qps); the recovery \
-         section measures the snapshot + WAL durability layer on the in-memory backend \
-         at three workload sizes: WAL-logged ingest and replay throughput, snapshot \
-         write/load, and a mixed snapshot+WAL recovery; the parallel section sweeps the \
-         in-tree topo-parallel pool over 1/2/4/8 threads on the hydro workload — \
-         end-to-end top(I), cold canonicalisation and the batched store ingest per pool \
+         (stratified) on prepared invariant exports (program_structure = to_structure + \
+         successor scaffolding), semi-naive vs datalog::naive; the demand section compares \
+         the library's linear connectivity program under the magic-set goal-directed path \
+         (run_goal) with plain bottom-up evaluation, both against the retired quadratic \
+         connectivity program (semi-naive and the naive oracle), and times a bound-goal \
+         Reach(seed, y) rewrite where demand prunes derivation to one source's component; \
+         the store section ingests a duplicate-heavy mix into the InvariantStore from \
+         scoped threads and runs one query sweep against the memoising store and one \
+         against the memo-disabled baseline (speedup = memo_qps / nomemo_qps); the \
+         recovery section measures the snapshot + WAL durability layer on the in-memory \
+         backend at three workload sizes: WAL-logged ingest and replay throughput, \
+         snapshot write/load, and a mixed snapshot+WAL recovery; the parallel section \
+         sweeps the in-tree topo-parallel pool over 1/2/4/8 threads on the hydro workload \
+         — end-to-end top(I), cold canonicalisation and the batched store ingest per pool \
          size, with host_threads recording how many cores the sweep actually had (on a \
-         single-core host the curve is honestly flat); samples objects \
-         record the sample counts actually used per median; naive medians are null where \
-         the reference path is intractable\",\n",
+         single-core host the curve is honestly flat); stages_run records which stages \
+         this file actually holds (--stage filtering); samples objects record the sample \
+         counts actually used per median; naive medians are null where the reference path \
+         is intractable\",\n",
     );
-    out.push_str(&format!("  \"mode\": \"{}\",\n", if quick { "quick" } else { "full" }));
-    out.push_str(&format!("  \"samples\": {samples},\n"));
-    out.push_str(&format!("  \"cached_reps\": {CACHED_REPS},\n"));
-    out.push_str(&format!("  \"datagen_seed\": {SEED},\n"));
-    out.push_str("  \"workloads\": [\n");
+    header.push_str(&format!("  \"mode\": \"{}\",\n", if quick { "quick" } else { "full" }));
+    header.push_str(&format!("  \"samples\": {samples},\n"));
+    header.push_str(&format!("  \"cached_reps\": {CACHED_REPS},\n"));
+    header.push_str(&format!("  \"datagen_seed\": {SEED},\n"));
+    header.push_str(&format!(
+        "  \"stages_run\": [{}]",
+        stages_run.iter().map(|s| format!("\"{s}\"")).collect::<Vec<_>>().join(", ")
+    ));
+    sections.push(header);
+
     // (workload, grid, cells, cold canonical ns, giant stats) rows for the
     // end-of-run summary that CI greps out of the log.
     let mut summary: Vec<(String, usize, usize, u128, topo_core::SweepStats)> = Vec::new();
-
-    for (w, (name, gen)) in workloads.iter().enumerate() {
-        eprintln!("== {name} ==");
-        out.push_str("    {\n");
-        out.push_str(&format!("      \"name\": \"{}\",\n", json_escape(name)));
-        out.push_str("      \"scales\": [\n");
-        for (g, &grid) in GRIDS.iter().enumerate() {
-            let instance = gen(grid);
-            let report = measure_scale(&instance, grid, samples, quick);
-            eprintln!(
-                "  grid {:>2}: cells {:>6}  top {:>12} ns  naive_top {:>12} ns  speedup {:>5.2}x \
-                 (arrangement {:>5.2}x)",
-                grid,
-                report.cells,
-                report.stage("top"),
-                report.naive_top_ns,
-                report.top_speedup(),
-                report.arrangement_speedup(),
-            );
-            eprintln!(
-                "           canonical {:>12} ns  cached {:>8.2} ns  iso {:>8.2} ns  naive {}  \
-                 speedup {}",
-                report.canonical_first_ns,
-                report.canonical_cached_ns,
-                report.iso_cached_ns,
-                report.naive_canonical_ns.map_or("(skipped)".to_string(), |n| format!("{n} ns")),
-                report.canonical_speedup().map_or("n/a".to_string(), |s| format!("{s:.0}x")),
-            );
-            summary.push((
-                name.to_string(),
-                report.grid,
-                report.cells,
-                report.canonical_first_ns,
-                report.giant,
-            ));
-            out.push_str("        {\n");
-            out.push_str(&format!("          \"grid\": {},\n", report.grid));
-            out.push_str(&format!("          \"cells\": {},\n", report.cells));
-            out.push_str("          \"stages_median_ns\": {");
-            for (s, (stage, ns)) in report.stages.iter().enumerate() {
-                if s > 0 {
-                    out.push_str(", ");
+    if run_stage("construction") {
+        let mut sec = String::new();
+        sec.push_str("  \"workloads\": [\n");
+        for (w, (name, gen)) in workloads.iter().enumerate() {
+            eprintln!("== {name} ==");
+            sec.push_str("    {\n");
+            sec.push_str(&format!("      \"name\": \"{}\",\n", json_escape(name)));
+            sec.push_str("      \"scales\": [\n");
+            for (g, &grid) in GRIDS.iter().enumerate() {
+                let instance = gen(grid);
+                let report = measure_scale(&instance, grid, samples, quick);
+                eprintln!(
+                    "  grid {:>2}: cells {:>6}  top {:>12} ns  naive_top {:>12} ns  speedup {:>5.2}x \
+                     (arrangement {:>5.2}x)",
+                    grid,
+                    report.cells,
+                    report.stage("top"),
+                    report.naive_top_ns,
+                    report.top_speedup(),
+                    report.arrangement_speedup(),
+                );
+                eprintln!(
+                    "           canonical {:>12} ns  cached {:>8.2} ns  iso {:>8.2} ns  naive {}  \
+                     speedup {}",
+                    report.canonical_first_ns,
+                    report.canonical_cached_ns,
+                    report.iso_cached_ns,
+                    report
+                        .naive_canonical_ns
+                        .map_or("(skipped)".to_string(), |n| format!("{n} ns")),
+                    report.canonical_speedup().map_or("n/a".to_string(), |s| format!("{s:.0}x")),
+                );
+                summary.push((
+                    name.to_string(),
+                    report.grid,
+                    report.cells,
+                    report.canonical_first_ns,
+                    report.giant,
+                ));
+                sec.push_str("        {\n");
+                sec.push_str(&format!("          \"grid\": {},\n", report.grid));
+                sec.push_str(&format!("          \"cells\": {},\n", report.cells));
+                sec.push_str("          \"stages_median_ns\": {");
+                for (s, (stage, ns)) in report.stages.iter().enumerate() {
+                    if s > 0 {
+                        sec.push_str(", ");
+                    }
+                    sec.push_str(&format!("\"{stage}\": {ns}"));
                 }
-                out.push_str(&format!("\"{stage}\": {ns}"));
+                sec.push_str("},\n");
+                sec.push_str(&format!(
+                    "          \"canonical_median_ns\": {{\"first\": {}, \"cached\": {:.3}, \
+                     \"iso_cached\": {:.3}}},\n",
+                    report.canonical_first_ns, report.canonical_cached_ns, report.iso_cached_ns
+                ));
+                sec.push_str(&format!(
+                    "          \"giant_component\": {{\"skeleton_cells\": {}, \"choices\": {}, \
+                     \"surviving_choices\": {}}},\n",
+                    report.giant.giant_skeleton_cells,
+                    report.giant.giant_choices,
+                    report.giant.giant_surviving_choices,
+                ));
+                sec.push_str(&format!(
+                    "          \"samples_used\": {{\"stages\": {}, \"canonical_first\": {}, \
+                     \"naive_canonical\": {}}},\n",
+                    report.stage_samples,
+                    report.canonical_samples,
+                    report.naive_canonical_samples.map_or("null".to_string(), |n| n.to_string()),
+                ));
+                sec.push_str(&format!(
+                    "          \"naive_median_ns\": {{\"arrangement\": {}, \"top\": {}, \
+                     \"canonical\": {}}},\n",
+                    report.naive_arrangement_ns,
+                    report.naive_top_ns,
+                    report.naive_canonical_ns.map_or("null".to_string(), |n| n.to_string()),
+                ));
+                sec.push_str(&format!(
+                    "          \"speedup\": {{\"arrangement\": {:.2}, \"top\": {:.2}, \
+                     \"canonical\": {}}}\n",
+                    report.arrangement_speedup(),
+                    report.top_speedup(),
+                    report.canonical_speedup().map_or("null".to_string(), |s| format!("{s:.2}")),
+                ));
+                sec.push_str(if g + 1 < GRIDS.len() { "        },\n" } else { "        }\n" });
             }
-            out.push_str("},\n");
-            out.push_str(&format!(
-                "          \"canonical_median_ns\": {{\"first\": {}, \"cached\": {:.3}, \
-                 \"iso_cached\": {:.3}}},\n",
-                report.canonical_first_ns, report.canonical_cached_ns, report.iso_cached_ns
-            ));
-            out.push_str(&format!(
-                "          \"giant_component\": {{\"skeleton_cells\": {}, \"choices\": {}, \
-                 \"surviving_choices\": {}}},\n",
-                report.giant.giant_skeleton_cells,
-                report.giant.giant_choices,
-                report.giant.giant_surviving_choices,
-            ));
-            out.push_str(&format!(
-                "          \"samples_used\": {{\"stages\": {}, \"canonical_first\": {}, \
-                 \"naive_canonical\": {}}},\n",
-                report.stage_samples,
-                report.canonical_samples,
-                report.naive_canonical_samples.map_or("null".to_string(), |n| n.to_string()),
-            ));
-            out.push_str(&format!(
-                "          \"naive_median_ns\": {{\"arrangement\": {}, \"top\": {}, \
-                 \"canonical\": {}}},\n",
-                report.naive_arrangement_ns,
-                report.naive_top_ns,
-                report.naive_canonical_ns.map_or("null".to_string(), |n| n.to_string()),
-            ));
-            out.push_str(&format!(
-                "          \"speedup\": {{\"arrangement\": {:.2}, \"top\": {:.2}, \
-                 \"canonical\": {}}}\n",
-                report.arrangement_speedup(),
-                report.top_speedup(),
-                report.canonical_speedup().map_or("null".to_string(), |s| format!("{s:.2}")),
-            ));
-            out.push_str(if g + 1 < GRIDS.len() { "        },\n" } else { "        }\n" });
+            sec.push_str("      ]\n");
+            sec.push_str(if w + 1 < workloads.len() { "    },\n" } else { "    }\n" });
         }
-        out.push_str("      ]\n");
-        out.push_str(if w + 1 < workloads.len() { "    },\n" } else { "    }\n" });
+        sec.push_str("  ]");
+        sections.push(sec);
     }
-    out.push_str("  ],\n");
 
     // The datalog query-evaluation stage, at its own (smaller) scales.
-    out.push_str("  \"datalog\": {\n");
-    out.push_str("    \"semantics\": \"stratified\",\n");
-    out.push_str(&format!(
-        "    \"grids\": [{}],\n",
-        DATALOG_GRIDS.map(|g| g.to_string()).join(", ")
-    ));
-    out.push_str("    \"workloads\": [\n");
     // Per-workload reports, kept for the end-of-run summary that CI greps
     // out of the log.
     let mut datalog_reports: Vec<(&str, Vec<DatalogScaleReport>)> = Vec::new();
-    for (w, (name, gen)) in workloads.iter().enumerate() {
-        eprintln!("== {name} (datalog) ==");
-        let scales = measure_datalog(gen, samples, quick);
-        out.push_str("      {\n");
-        out.push_str(&format!("        \"name\": \"{}\",\n", json_escape(name)));
-        out.push_str("        \"scales\": [\n");
-        for (g, scale) in scales.iter().enumerate() {
-            out.push_str("          {\n");
-            out.push_str(&format!("            \"grid\": {},\n", scale.grid));
-            out.push_str(&format!("            \"cells\": {},\n", scale.cells));
-            out.push_str("            \"programs\": {");
-            for (p, program) in scale.programs.iter().enumerate() {
-                if p > 0 {
-                    out.push_str(", ");
+    if run_stage("datalog") {
+        let mut sec = String::new();
+        sec.push_str("  \"datalog\": {\n");
+        sec.push_str("    \"semantics\": \"stratified\",\n");
+        sec.push_str(&format!(
+            "    \"grids\": [{}],\n",
+            DATALOG_GRIDS.map(|g| g.to_string()).join(", ")
+        ));
+        sec.push_str("    \"workloads\": [\n");
+        for (w, (name, gen)) in workloads.iter().enumerate() {
+            eprintln!("== {name} (datalog) ==");
+            let scales = measure_datalog(gen, samples, quick);
+            sec.push_str("      {\n");
+            sec.push_str(&format!("        \"name\": \"{}\",\n", json_escape(name)));
+            sec.push_str("        \"scales\": [\n");
+            for (g, scale) in scales.iter().enumerate() {
+                sec.push_str("          {\n");
+                sec.push_str(&format!("            \"grid\": {},\n", scale.grid));
+                sec.push_str(&format!("            \"cells\": {},\n", scale.cells));
+                sec.push_str("            \"programs\": {");
+                for (p, program) in scale.programs.iter().enumerate() {
+                    if p > 0 {
+                        sec.push_str(", ");
+                    }
+                    sec.push_str(&format!(
+                        "\"{}\": {{\"semi_ns\": {}, \"naive_ns\": {}, \"speedup\": {}, \
+                         \"samples_used\": {{\"semi\": {}, \"naive\": {}}}}}",
+                        program.name,
+                        program.semi_ns,
+                        program.naive_ns.map_or("null".to_string(), |n| n.to_string()),
+                        program.speedup().map_or("null".to_string(), |s| format!("{s:.2}")),
+                        program.semi_samples,
+                        program.naive_samples.map_or("null".to_string(), |n| n.to_string()),
+                    ));
+                    eprintln!(
+                        "  grid {:>2}: cells {:>5} {:<13} semi {:>12} ns  naive {:>14}  speedup {}",
+                        scale.grid,
+                        scale.cells,
+                        program.name,
+                        program.semi_ns,
+                        program.naive_ns.map_or("(skipped)".to_string(), |n| format!("{n} ns")),
+                        program.speedup().map_or("n/a".to_string(), |s| format!("{s:.1}x")),
+                    );
                 }
-                out.push_str(&format!(
-                    "\"{}\": {{\"semi_ns\": {}, \"naive_ns\": {}, \"speedup\": {}, \
-                     \"samples_used\": {{\"semi\": {}, \"naive\": {}}}}}",
-                    program.name,
-                    program.semi_ns,
-                    program.naive_ns.map_or("null".to_string(), |n| n.to_string()),
-                    program.speedup().map_or("null".to_string(), |s| format!("{s:.2}")),
-                    program.semi_samples,
-                    program.naive_samples.map_or("null".to_string(), |n| n.to_string()),
-                ));
+                sec.push_str("}\n");
+                sec.push_str(if g + 1 < scales.len() { "          },\n" } else { "          }\n" });
+            }
+            sec.push_str("        ]\n");
+            sec.push_str(if w + 1 < workloads.len() { "      },\n" } else { "      }\n" });
+            datalog_reports.push((name, scales));
+        }
+        sec.push_str("    ]\n");
+        sec.push_str("  }");
+        sections.push(sec);
+    }
+
+    // The demand stage: the goal-directed path vs bottom-up, vs the retired
+    // quadratic program, plus the bound-goal reachability demo.
+    let mut demand_reports: Vec<(&str, Vec<DemandScaleReport>)> = Vec::new();
+    if run_stage("demand") {
+        let mut sec = String::new();
+        sec.push_str("  \"demand\": {\n");
+        sec.push_str("    \"semantics\": \"stratified\",\n");
+        sec.push_str("    \"query\": \"is_connected\",\n");
+        sec.push_str(&format!(
+            "    \"grids\": [{}],\n",
+            DATALOG_GRIDS.map(|g| g.to_string()).join(", ")
+        ));
+        sec.push_str("    \"workloads\": [\n");
+        for (w, (name, gen)) in workloads.iter().enumerate() {
+            eprintln!("== {name} (demand) ==");
+            let scales = measure_demand(gen, samples, quick);
+            sec.push_str("      {\n");
+            sec.push_str(&format!("        \"name\": \"{}\",\n", json_escape(name)));
+            sec.push_str("        \"scales\": [\n");
+            for (g, scale) in scales.iter().enumerate() {
                 eprintln!(
-                    "  grid {:>2}: cells {:>5} {:<13} semi {:>12} ns  naive {:>14}  speedup {}",
+                    "  grid {:>2}: cells {:>5} goal {:>12} ns  bottomup {:>12} ns  quadratic \
+                     {:>12} ns  naive {:>14}  goal-vs-quadratic {:.1}x",
                     scale.grid,
                     scale.cells,
-                    program.name,
-                    program.semi_ns,
-                    program.naive_ns.map_or("(skipped)".to_string(), |n| format!("{n} ns")),
-                    program.speedup().map_or("n/a".to_string(), |s| format!("{s:.1}x")),
+                    scale.goal_ns,
+                    scale.bottomup_ns,
+                    scale.quadratic_ns,
+                    scale.naive_ns.map_or("(skipped)".to_string(), |n| format!("{n} ns")),
+                    scale.goal_vs_quadratic(),
                 );
+                if let Some(reach) = &scale.reach {
+                    eprintln!(
+                        "           reach_from_seed {}: {} answers  goal {:>12} ns  full {:>12} \
+                         ns  speedup {:.1}x",
+                        reach.seed,
+                        reach.answers,
+                        reach.goal_ns,
+                        reach.full_ns,
+                        reach.speedup(),
+                    );
+                }
+                sec.push_str("          {\n");
+                sec.push_str(&format!("            \"grid\": {},\n", scale.grid));
+                sec.push_str(&format!("            \"cells\": {},\n", scale.cells));
+                sec.push_str(&format!(
+                    "            \"library_linear\": {{\"goal_ns\": {}, \"bottomup_ns\": {}, \
+                     \"samples\": {}}},\n",
+                    scale.goal_ns, scale.bottomup_ns, scale.samples
+                ));
+                sec.push_str(&format!(
+                    "            \"quadratic_reference\": {{\"semi_ns\": {}, \"naive_ns\": {}, \
+                     \"samples_used\": {{\"semi\": {}, \"naive\": {}}}}},\n",
+                    scale.quadratic_ns,
+                    scale.naive_ns.map_or("null".to_string(), |n| n.to_string()),
+                    scale.samples,
+                    scale.naive_samples.map_or("null".to_string(), |n| n.to_string()),
+                ));
+                sec.push_str(&format!(
+                    "            \"speedup\": {{\"goal_vs_quadratic\": {:.2}, \
+                     \"goal_vs_bottomup\": {:.2}, \"goal_vs_naive\": {}}},\n",
+                    scale.goal_vs_quadratic(),
+                    scale.goal_vs_bottomup(),
+                    scale.goal_vs_naive().map_or("null".to_string(), |s| format!("{s:.2}")),
+                ));
+                match &scale.reach {
+                    Some(reach) => sec.push_str(&format!(
+                        "            \"reach_from_seed\": {{\"seed\": {}, \"answers\": {}, \
+                         \"goal_ns\": {}, \"full_ns\": {}, \"speedup\": {:.2}}}\n",
+                        reach.seed,
+                        reach.answers,
+                        reach.goal_ns,
+                        reach.full_ns,
+                        reach.speedup(),
+                    )),
+                    None => sec.push_str("            \"reach_from_seed\": null\n"),
+                }
+                sec.push_str(if g + 1 < scales.len() { "          },\n" } else { "          }\n" });
             }
-            out.push_str("}\n");
-            out.push_str(if g + 1 < scales.len() { "          },\n" } else { "          }\n" });
+            sec.push_str("        ]\n");
+            sec.push_str(if w + 1 < workloads.len() { "      },\n" } else { "      }\n" });
+            demand_reports.push((name, scales));
         }
-        out.push_str("        ]\n");
-        out.push_str(if w + 1 < workloads.len() { "      },\n" } else { "      }\n" });
-        datalog_reports.push((name, scales));
+        sec.push_str("    ]\n");
+        sec.push_str("  }");
+        sections.push(sec);
     }
-    out.push_str("    ]\n");
-    out.push_str("  },\n");
 
     // The concurrent invariant-store stage.
-    eprintln!("== store stage ==");
-    let store = measure_store(quick);
-    eprintln!(
-        "  ingest  {:>6} instances ({} bases, {} classes) on {} threads: {:>12} ns  \
-         ({:.0} instances/sec, {} dedup hits)",
-        store.instances,
-        store.bases,
-        store.classes,
-        store.ingest_threads,
-        store.ingest_ns,
-        store.ingest_per_sec,
-        store.dedup_hits,
-    );
-    eprintln!(
-        "  query   {:>6} queries on {} threads: memo {:>12} ns ({:.0} q/s, hit rate {:.4})  \
-         no-memo {:>12} ns ({:.0} q/s)  memo speedup {:.1}x",
-        store.queries,
-        store.query_threads,
-        store.memo_ns,
-        store.memo_qps,
-        store.memo_hit_rate,
-        store.nomemo_ns,
-        store.nomemo_qps,
-        store.memo_speedup(),
-    );
-    out.push_str("  \"store\": {\n");
-    out.push_str(&format!("    \"instances\": {},\n", store.instances));
-    out.push_str(&format!("    \"bases\": {},\n", store.bases));
-    out.push_str(&format!("    \"classes\": {},\n", store.classes));
-    out.push_str(&format!("    \"dedup_hits\": {},\n", store.dedup_hits));
-    out.push_str(&format!("    \"ingest_threads\": {},\n", store.ingest_threads));
-    out.push_str(&format!("    \"query_threads\": {},\n", store.query_threads));
-    out.push_str(&format!("    \"ingest_ns\": {},\n", store.ingest_ns));
-    out.push_str(&format!("    \"ingest_instances_per_sec\": {:.1},\n", store.ingest_per_sec));
-    out.push_str(&format!("    \"queries_per_sweep\": {},\n", store.queries));
-    out.push_str(&format!("    \"memo_sweep_ns\": {},\n", store.memo_ns));
-    out.push_str(&format!("    \"memo_queries_per_sec\": {:.1},\n", store.memo_qps));
-    out.push_str(&format!("    \"memo_hit_rate\": {:.6},\n", store.memo_hit_rate));
-    out.push_str(&format!("    \"nomemo_sweep_ns\": {},\n", store.nomemo_ns));
-    out.push_str(&format!("    \"nomemo_queries_per_sec\": {:.1},\n", store.nomemo_qps));
-    out.push_str(&format!("    \"memo_speedup\": {:.2}\n", store.memo_speedup()));
-    out.push_str("  },\n");
+    if run_stage("store") {
+        eprintln!("== store stage ==");
+        let store = measure_store(quick);
+        eprintln!(
+            "  ingest  {:>6} instances ({} bases, {} classes) on {} threads: {:>12} ns  \
+             ({:.0} instances/sec, {} dedup hits)",
+            store.instances,
+            store.bases,
+            store.classes,
+            store.ingest_threads,
+            store.ingest_ns,
+            store.ingest_per_sec,
+            store.dedup_hits,
+        );
+        eprintln!(
+            "  query   {:>6} queries on {} threads: memo {:>12} ns ({:.0} q/s, hit rate {:.4})  \
+             no-memo {:>12} ns ({:.0} q/s)  memo speedup {:.1}x",
+            store.queries,
+            store.query_threads,
+            store.memo_ns,
+            store.memo_qps,
+            store.memo_hit_rate,
+            store.nomemo_ns,
+            store.nomemo_qps,
+            store.memo_speedup(),
+        );
+        let mut sec = String::new();
+        sec.push_str("  \"store\": {\n");
+        sec.push_str(&format!("    \"instances\": {},\n", store.instances));
+        sec.push_str(&format!("    \"bases\": {},\n", store.bases));
+        sec.push_str(&format!("    \"classes\": {},\n", store.classes));
+        sec.push_str(&format!("    \"dedup_hits\": {},\n", store.dedup_hits));
+        sec.push_str(&format!("    \"ingest_threads\": {},\n", store.ingest_threads));
+        sec.push_str(&format!("    \"query_threads\": {},\n", store.query_threads));
+        sec.push_str(&format!("    \"ingest_ns\": {},\n", store.ingest_ns));
+        sec.push_str(&format!("    \"ingest_instances_per_sec\": {:.1},\n", store.ingest_per_sec));
+        sec.push_str(&format!("    \"queries_per_sweep\": {},\n", store.queries));
+        sec.push_str(&format!("    \"memo_sweep_ns\": {},\n", store.memo_ns));
+        sec.push_str(&format!("    \"memo_queries_per_sec\": {:.1},\n", store.memo_qps));
+        sec.push_str(&format!("    \"memo_hit_rate\": {:.6},\n", store.memo_hit_rate));
+        sec.push_str(&format!("    \"nomemo_sweep_ns\": {},\n", store.nomemo_ns));
+        sec.push_str(&format!("    \"nomemo_queries_per_sec\": {:.1},\n", store.nomemo_qps));
+        sec.push_str(&format!("    \"memo_speedup\": {:.2}\n", store.memo_speedup()));
+        sec.push_str("  }");
+        sections.push(sec);
+    }
 
     // The durability stage: snapshot + WAL persistence over the in-memory
     // backend, so the numbers isolate the encode/replay cost from disk I/O.
-    eprintln!("== recovery stage ==");
-    let recovery = measure_persist(quick);
-    out.push_str("  \"recovery\": {\n");
-    out.push_str("    \"scales\": [\n");
-    for (i, r) in recovery.iter().enumerate() {
-        eprintln!(
-            "  {:>5} instances ({} classes, {} wal records): ingest+log {:>11} ns \
-             ({:.0}/sec), replay {:>10} ns ({:.0} records/sec), snapshot write \
-             {:>9} ns ({} bytes), load {:>9} ns, mixed recover {:>10} ns",
-            r.instances,
-            r.classes,
-            r.wal_records,
-            r.ingest_log_ns,
-            r.ingest_log_per_sec,
-            r.wal_replay_ns,
-            r.wal_replay_records_per_sec,
-            r.snapshot_write_ns,
-            r.snapshot_bytes,
-            r.snapshot_load_ns,
-            r.mixed_recover_ns,
-        );
-        out.push_str("      {\n");
-        out.push_str(&format!("        \"copies\": {},\n", r.copies));
-        out.push_str(&format!("        \"instances\": {},\n", r.instances));
-        out.push_str(&format!("        \"classes\": {},\n", r.classes));
-        out.push_str(&format!("        \"wal_records\": {},\n", r.wal_records));
-        out.push_str(&format!("        \"wal_bytes\": {},\n", r.wal_bytes));
-        out.push_str(&format!("        \"ingest_log_ns\": {},\n", r.ingest_log_ns));
-        out.push_str(&format!("        \"ingest_log_per_sec\": {:.1},\n", r.ingest_log_per_sec));
-        out.push_str(&format!("        \"wal_replay_ns\": {},\n", r.wal_replay_ns));
-        out.push_str(&format!(
-            "        \"wal_replay_records_per_sec\": {:.1},\n",
-            r.wal_replay_records_per_sec
-        ));
-        out.push_str(&format!("        \"snapshot_write_ns\": {},\n", r.snapshot_write_ns));
-        out.push_str(&format!("        \"snapshot_bytes\": {},\n", r.snapshot_bytes));
-        out.push_str(&format!("        \"snapshot_load_ns\": {},\n", r.snapshot_load_ns));
-        out.push_str(&format!("        \"mixed_recover_ns\": {},\n", r.mixed_recover_ns));
-        out.push_str(&format!("        \"samples\": {}\n", r.samples));
-        out.push_str(if i + 1 < recovery.len() { "      },\n" } else { "      }\n" });
+    if run_stage("recovery") {
+        eprintln!("== recovery stage ==");
+        let recovery = measure_persist(quick);
+        let mut sec = String::new();
+        sec.push_str("  \"recovery\": {\n");
+        sec.push_str("    \"scales\": [\n");
+        for (i, r) in recovery.iter().enumerate() {
+            eprintln!(
+                "  {:>5} instances ({} classes, {} wal records): ingest+log {:>11} ns \
+                 ({:.0}/sec), replay {:>10} ns ({:.0} records/sec), snapshot write \
+                 {:>9} ns ({} bytes), load {:>9} ns, mixed recover {:>10} ns",
+                r.instances,
+                r.classes,
+                r.wal_records,
+                r.ingest_log_ns,
+                r.ingest_log_per_sec,
+                r.wal_replay_ns,
+                r.wal_replay_records_per_sec,
+                r.snapshot_write_ns,
+                r.snapshot_bytes,
+                r.snapshot_load_ns,
+                r.mixed_recover_ns,
+            );
+            sec.push_str("      {\n");
+            sec.push_str(&format!("        \"copies\": {},\n", r.copies));
+            sec.push_str(&format!("        \"instances\": {},\n", r.instances));
+            sec.push_str(&format!("        \"classes\": {},\n", r.classes));
+            sec.push_str(&format!("        \"wal_records\": {},\n", r.wal_records));
+            sec.push_str(&format!("        \"wal_bytes\": {},\n", r.wal_bytes));
+            sec.push_str(&format!("        \"ingest_log_ns\": {},\n", r.ingest_log_ns));
+            sec.push_str(&format!(
+                "        \"ingest_log_per_sec\": {:.1},\n",
+                r.ingest_log_per_sec
+            ));
+            sec.push_str(&format!("        \"wal_replay_ns\": {},\n", r.wal_replay_ns));
+            sec.push_str(&format!(
+                "        \"wal_replay_records_per_sec\": {:.1},\n",
+                r.wal_replay_records_per_sec
+            ));
+            sec.push_str(&format!("        \"snapshot_write_ns\": {},\n", r.snapshot_write_ns));
+            sec.push_str(&format!("        \"snapshot_bytes\": {},\n", r.snapshot_bytes));
+            sec.push_str(&format!("        \"snapshot_load_ns\": {},\n", r.snapshot_load_ns));
+            sec.push_str(&format!("        \"mixed_recover_ns\": {},\n", r.mixed_recover_ns));
+            sec.push_str(&format!("        \"samples\": {}\n", r.samples));
+            sec.push_str(if i + 1 < recovery.len() { "      },\n" } else { "      }\n" });
+        }
+        sec.push_str("    ]\n");
+        sec.push_str("  }");
+        sections.push(sec);
     }
-    out.push_str("    ]\n");
-    out.push_str("  },\n");
 
     // The thread-pool sweep: speedup-vs-threads curves for the parallel
     // construction pipeline and the batched store ingest.
-    eprintln!("== parallel stage ==");
-    let parallel = measure_parallel(quick);
-    let base = parallel.baseline();
-    let (base_top, base_canonical, base_batch) =
-        (base.top_ns, base.canonical_ns, base.batch_ingest_ns);
-    eprintln!(
-        "  hydro grid {} ({} cells), batch of {} instances, host threads {}",
-        parallel.grid, parallel.cells, parallel.batch_size, parallel.host_threads,
-    );
-    out.push_str("  \"parallel\": {\n");
-    out.push_str(&format!("    \"host_threads\": {},\n", parallel.host_threads));
-    out.push_str("    \"workload\": \"sequoia_hydro\",\n");
-    out.push_str(&format!("    \"grid\": {},\n", parallel.grid));
-    out.push_str(&format!("    \"cells\": {},\n", parallel.cells));
-    out.push_str(&format!("    \"batch_size\": {},\n", parallel.batch_size));
-    out.push_str(&format!("    \"samples\": {},\n", parallel.samples));
-    out.push_str("    \"sweep\": [\n");
-    for (i, r) in parallel.sweep.iter().enumerate() {
-        let speedup = |baseline: u128, ns: u128| baseline as f64 / ns as f64;
+    if run_stage("parallel") {
+        eprintln!("== parallel stage ==");
+        let parallel = measure_parallel(quick);
+        let base = parallel.baseline();
+        let (base_top, base_canonical, base_batch) =
+            (base.top_ns, base.canonical_ns, base.batch_ingest_ns);
         eprintln!(
-            "  threads {:>2}: top {:>12} ns ({:.2}x)  canonical {:>12} ns ({:.2}x)  \
-             batch ingest {:>12} ns ({:.2}x)",
-            r.threads,
-            r.top_ns,
-            speedup(base_top, r.top_ns),
-            r.canonical_ns,
-            speedup(base_canonical, r.canonical_ns),
-            r.batch_ingest_ns,
-            speedup(base_batch, r.batch_ingest_ns),
+            "  hydro grid {} ({} cells), batch of {} instances, host threads {}",
+            parallel.grid, parallel.cells, parallel.batch_size, parallel.host_threads,
         );
-        out.push_str("      {\n");
-        out.push_str(&format!("        \"threads\": {},\n", r.threads));
-        out.push_str(&format!("        \"top_ns\": {},\n", r.top_ns));
-        out.push_str(&format!("        \"canonical_ns\": {},\n", r.canonical_ns));
-        out.push_str(&format!("        \"batch_ingest_ns\": {},\n", r.batch_ingest_ns));
-        out.push_str(&format!(
-            "        \"speedup_vs_1\": {{\"top\": {:.2}, \"canonical\": {:.2}, \
-             \"batch_ingest\": {:.2}}}\n",
-            speedup(base_top, r.top_ns),
-            speedup(base_canonical, r.canonical_ns),
-            speedup(base_batch, r.batch_ingest_ns),
-        ));
-        out.push_str(if i + 1 < parallel.sweep.len() { "      },\n" } else { "      }\n" });
+        let mut sec = String::new();
+        sec.push_str("  \"parallel\": {\n");
+        sec.push_str(&format!("    \"host_threads\": {},\n", parallel.host_threads));
+        sec.push_str("    \"workload\": \"sequoia_hydro\",\n");
+        sec.push_str(&format!("    \"grid\": {},\n", parallel.grid));
+        sec.push_str(&format!("    \"cells\": {},\n", parallel.cells));
+        sec.push_str(&format!("    \"batch_size\": {},\n", parallel.batch_size));
+        sec.push_str(&format!("    \"samples\": {},\n", parallel.samples));
+        sec.push_str("    \"sweep\": [\n");
+        for (i, r) in parallel.sweep.iter().enumerate() {
+            let speedup = |baseline: u128, ns: u128| baseline as f64 / ns as f64;
+            eprintln!(
+                "  threads {:>2}: top {:>12} ns ({:.2}x)  canonical {:>12} ns ({:.2}x)  \
+                 batch ingest {:>12} ns ({:.2}x)",
+                r.threads,
+                r.top_ns,
+                speedup(base_top, r.top_ns),
+                r.canonical_ns,
+                speedup(base_canonical, r.canonical_ns),
+                r.batch_ingest_ns,
+                speedup(base_batch, r.batch_ingest_ns),
+            );
+            sec.push_str("      {\n");
+            sec.push_str(&format!("        \"threads\": {},\n", r.threads));
+            sec.push_str(&format!("        \"top_ns\": {},\n", r.top_ns));
+            sec.push_str(&format!("        \"canonical_ns\": {},\n", r.canonical_ns));
+            sec.push_str(&format!("        \"batch_ingest_ns\": {},\n", r.batch_ingest_ns));
+            sec.push_str(&format!(
+                "        \"speedup_vs_1\": {{\"top\": {:.2}, \"canonical\": {:.2}, \
+                 \"batch_ingest\": {:.2}}}\n",
+                speedup(base_top, r.top_ns),
+                speedup(base_canonical, r.canonical_ns),
+                speedup(base_batch, r.batch_ingest_ns),
+            ));
+            sec.push_str(if i + 1 < parallel.sweep.len() { "      },\n" } else { "      }\n" });
+        }
+        sec.push_str("    ]\n");
+        sec.push_str("  }");
+        sections.push(sec);
     }
-    out.push_str("    ]\n");
-    out.push_str("  }\n}\n");
 
+    let out = format!("{{\n{}\n}}\n", sections.join(",\n"));
     std::fs::write(&out_path, &out).expect("write benchmark baseline");
     eprintln!("wrote {out_path}");
 
     // Cold-canonicalisation summary, one line per workload/scale, so CI logs
     // (and humans skimming them) see canonicalisation regressions at a
     // glance without opening the JSON.
-    eprintln!("== cold canonical_code() per workload ==");
-    for (name, grid, cells, first_ns, giant) in &summary {
-        eprintln!(
-            "  {name:<20} grid {grid:>2}  cells {cells:>6}  giant {:>6}  choices {:>6} -> {:<4} \
-             cold {:>12} ns",
-            giant.giant_skeleton_cells,
-            giant.giant_choices,
-            giant.giant_surviving_choices,
-            first_ns,
-        );
+    if !summary.is_empty() {
+        eprintln!("== cold canonical_code() per workload ==");
+        for (name, grid, cells, first_ns, giant) in &summary {
+            eprintln!(
+                "  {name:<20} grid {grid:>2}  cells {cells:>6}  giant {:>6}  choices {:>6} -> \
+                 {:<4} cold {:>12} ns",
+                giant.giant_skeleton_cells,
+                giant.giant_choices,
+                giant.giant_surviving_choices,
+                first_ns,
+            );
+        }
     }
 
     // Same for the datalog query-evaluation stage: one line per
     // workload/scale/program, semi-naive vs the frozen reference engine.
-    eprintln!("== datalog stage per workload ==");
-    for (name, scales) in &datalog_reports {
-        for scale in scales {
-            for program in &scale.programs {
+    if !datalog_reports.is_empty() {
+        eprintln!("== datalog stage per workload ==");
+        for (name, scales) in &datalog_reports {
+            for scale in scales {
+                for program in &scale.programs {
+                    eprintln!(
+                        "  {name:<20} grid {:>2}  cells {:>6}  {:<13} semi {:>12} ns  \
+                         naive {:>14}  speedup {}",
+                        scale.grid,
+                        scale.cells,
+                        program.name,
+                        program.semi_ns,
+                        program.naive_ns.map_or("(skipped)".to_string(), |n| format!("{n} ns")),
+                        program.speedup().map_or("n/a".to_string(), |s| format!("{s:.1}x")),
+                    );
+                }
+            }
+        }
+    }
+
+    // And the demand stage: goal-directed vs bottom-up vs the retired
+    // quadratic program, one line per workload/scale.
+    if !demand_reports.is_empty() {
+        eprintln!("== demand stage per workload ==");
+        for (name, scales) in &demand_reports {
+            for scale in scales {
                 eprintln!(
-                    "  {name:<20} grid {:>2}  cells {:>6}  {:<13} semi {:>12} ns  \
-                     naive {:>14}  speedup {}",
+                    "  {name:<20} grid {:>2}  cells {:>6}  goal {:>12} ns  bottomup {:>12} ns  \
+                     quadratic {:>12} ns  goal-vs-quadratic {:.1}x  goal-vs-bottomup {:.2}x",
                     scale.grid,
                     scale.cells,
-                    program.name,
-                    program.semi_ns,
-                    program.naive_ns.map_or("(skipped)".to_string(), |n| format!("{n} ns")),
-                    program.speedup().map_or("n/a".to_string(), |s| format!("{s:.1}x")),
+                    scale.goal_ns,
+                    scale.bottomup_ns,
+                    scale.quadratic_ns,
+                    scale.goal_vs_quadratic(),
+                    scale.goal_vs_bottomup(),
                 );
             }
         }

@@ -304,6 +304,7 @@ fn e8_strategies() {
         build_time
     );
     let rebuilt = invert(&invariant).ok();
+    let structure = topo_core::program_structure(&invariant);
     println!(
         "{:<42} {:>12} {:>12} {:>12} {:>12}",
         "query", "(i) direct", "(iii) invariant", "(ii) datalog", "(iv) rebuilt"
@@ -311,14 +312,8 @@ fn e8_strategies() {
     for query in strategy_queries() {
         let (direct, t_direct) = timed(|| evaluate_direct(&query, &instance));
         let (on_inv, t_inv) = timed(|| evaluate_on_invariant(&query, &invariant));
-        let datalog = datalog_program(&query, instance.schema()).map(|program| {
-            timed(|| {
-                let out = program
-                    .run(&invariant.to_structure(), Semantics::Stratified, usize::MAX)
-                    .unwrap();
-                out.relation(&program.output).map(|r| !r.is_empty()).unwrap_or(false)
-            })
-        });
+        let datalog = datalog_program(&query, instance.schema())
+            .map(|program| timed(|| program.run_goal_boolean(&structure, Semantics::Stratified)));
         let rebuilt_eval = rebuilt.as_ref().map(|r| timed(|| evaluate_direct(&query, r)));
         assert_eq!(direct, on_inv, "strategies disagree on {query:?}");
         let fmt = |value: bool, t: Duration| format!("{value} {t:.1?}");

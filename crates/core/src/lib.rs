@@ -60,10 +60,12 @@ pub use topo_invariant::{
     CodeHash, InvariantStats, SweepStats, TopologicalInvariant,
 };
 pub use topo_queries::{
-    component_count, datalog_program, euler_characteristic, evaluate_direct, evaluate_on_classes,
-    evaluate_on_invariant, isomorphism_classes, point_formula, TopologicalQuery,
+    component_count, datalog_program, euler_characteristic, evaluate_direct,
+    evaluate_goal_directed, evaluate_on_classes, evaluate_on_invariant, isomorphism_classes,
+    linear_connectivity_program, point_formula, program_structure, quadratic_connectivity_program,
+    TopologicalQuery,
 };
-pub use topo_relational::{Formula, Program, Semantics, Structure};
+pub use topo_relational::{Formula, Goal, Program, Semantics, Structure};
 pub use topo_spatial::{PointFormula, RealFormula, Region, RegionId, Schema, SpatialInstance};
 pub use topo_store::{
     ClassId, Fault, FaultKind, FaultPlan, FaultSite, FaultyBackend, FileBackend, IngestOutcome,

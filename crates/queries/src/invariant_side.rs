@@ -236,9 +236,30 @@ pub fn isomorphism_classes<I: Borrow<TopologicalInvariant>>(invariants: &[I]) ->
     classes
 }
 
+/// Evaluates a query on an invariant through the goal-directed Datalog path:
+/// when the query library provides a fixpoint program
+/// ([`crate::programs::datalog_program`]), the program's annotated goal is
+/// answered by [`topo_relational::Program::run_goal`] on the prepared export
+/// ([`crate::programs::program_structure`]); the four queries without
+/// programs (equality, the boundary-intersection pair, component parity)
+/// fall back to the direct combinatorial algorithms. Bit-for-bit equal to
+/// [`evaluate_on_invariant`] on every query (`tests/demand_equivalence.rs`
+/// and the store equivalence suites pin this), so callers can switch paths
+/// freely.
+pub fn evaluate_goal_directed(query: &TopologicalQuery, invariant: &TopologicalInvariant) -> bool {
+    match crate::programs::datalog_program(query, invariant.schema()) {
+        Some(program) => {
+            let structure = crate::programs::program_structure(invariant);
+            program.run_goal_boolean(&structure, topo_relational::Semantics::Stratified)
+        }
+        None => evaluate_on_invariant(query, invariant),
+    }
+}
+
 /// Evaluates a query on many invariants, once per isomorphism class: the
 /// cached canonical codes group the invariants, the query runs on one
-/// representative per class, and the answer is shared across the class.
+/// representative per class — through the goal-directed Datalog path
+/// ([`evaluate_goal_directed`]) — and the answer is shared across the class.
 /// Accepts the same owned-or-borrowed holders as [`isomorphism_classes`].
 pub fn evaluate_on_classes<I: Borrow<TopologicalInvariant>>(
     query: &TopologicalQuery,
@@ -246,7 +267,7 @@ pub fn evaluate_on_classes<I: Borrow<TopologicalInvariant>>(
 ) -> Vec<bool> {
     let mut answers = vec![false; invariants.len()];
     for class in isomorphism_classes(invariants) {
-        let answer = evaluate_on_invariant(query, invariants[class[0]].borrow());
+        let answer = evaluate_goal_directed(query, invariants[class[0]].borrow());
         for i in class {
             answers[i] = answer;
         }

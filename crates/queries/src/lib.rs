@@ -20,9 +20,11 @@ pub mod programs;
 pub mod spatial_side;
 
 pub use invariant_side::{
-    component_count, euler_characteristic, evaluate_on_classes, evaluate_on_invariant,
-    isomorphism_classes,
+    component_count, euler_characteristic, evaluate_goal_directed, evaluate_on_classes,
+    evaluate_on_invariant, isomorphism_classes,
 };
 pub use library::TopologicalQuery;
-pub use programs::datalog_program;
+pub use programs::{
+    datalog_program, linear_connectivity_program, program_structure, quadratic_connectivity_program,
+};
 pub use spatial_side::{evaluate_direct, point_formula};

@@ -7,13 +7,19 @@
 //! components needs counting on top of fixpoint.
 //!
 //! The programs run unchanged on the delta-driven engine behind
-//! [`Program::run`]: connectivity's `Reach` recursion is exactly the shape
-//! the semi-naive rewrite accelerates (each round joins only the newly
-//! reached cells against the adjacency relation instead of re-scanning all
-//! of `Reach`; see DESIGN.md, "Datalog engine").
+//! [`Program::run`]: connectivity's recursion is exactly the shape the
+//! semi-naive rewrite accelerates (each round joins only the newly reached
+//! cells against the adjacency relation; see DESIGN.md, "Datalog engine").
+//! Every program carries an explicit goal annotation ([`Program::goal`], the
+//! nullary `Answer` atom), so goal-directed evaluation
+//! ([`Program::run_goal`], DESIGN.md "Demand-driven evaluation") knows what
+//! to demand without relying on naming conventions. Programs expect their
+//! input prepared by [`program_structure`]: the invariant export plus the
+//! linear successor scaffolding the connectivity walk seeds from.
 
 use crate::library::TopologicalQuery;
-use topo_relational::{Formula, Literal, Program, Rule, Term};
+use topo_invariant::TopologicalInvariant;
+use topo_relational::{Formula, Goal, Literal, Program, Rule, Structure, Term};
 use topo_spatial::Schema;
 
 fn region_relation(schema: &Schema, region: usize) -> String {
@@ -43,12 +49,29 @@ fn adjacency_rules() -> Vec<Rule> {
     rules
 }
 
+/// The relational input the query-library programs run on: the invariant
+/// export ([`TopologicalInvariant::to_structure`]) plus the linear successor
+/// scaffolding (`Zero`/`Succ`/`MaxNum`/`Even`) the connectivity program
+/// seeds its component walk from.
+///
+/// The scaffolding is added here, not inside `to_structure()`, because the
+/// export must stay order-free: `Succ` encodes the (arbitrary) cell
+/// numbering, and baking it into the export would make isomorphic invariants
+/// export non-isomorphic structures.
+pub fn program_structure(invariant: &TopologicalInvariant) -> Structure {
+    let mut structure = invariant.to_structure();
+    structure.add_successor_relations();
+    structure
+}
+
 /// The Datalog¬ (fixpoint) program answering a query of the library on the
 /// exported invariant, when one is provided. Programs are evaluated with
-/// stratified semantics (which inflationary fixpoint subsumes).
+/// stratified semantics (which inflationary fixpoint subsumes), carry their
+/// goal atom explicitly (the nullary `Answer`), and expect input prepared by
+/// [`program_structure`].
 ///
 /// ```
-/// use topo_queries::{datalog_program, TopologicalQuery};
+/// use topo_queries::{datalog_program, program_structure, TopologicalQuery};
 /// use topo_relational::Semantics;
 /// use topo_spatial::{Region, SpatialInstance};
 ///
@@ -59,19 +82,31 @@ fn adjacency_rules() -> Vec<Rule> {
 /// ]);
 /// let program =
 ///     datalog_program(&TopologicalQuery::IsConnected(0), instance.schema()).unwrap();
-/// let structure = topo_invariant::top(&instance).to_structure();
-/// let result = program.run(&structure, Semantics::Stratified, usize::MAX).unwrap();
-/// assert!(!result.relation("Answer").unwrap().is_empty());
+/// let structure = program_structure(&topo_invariant::top(&instance));
+/// // Goal-directed evaluation answers the annotated goal atom.
+/// assert!(program.run_goal_boolean(&structure, Semantics::Stratified));
 /// ```
 pub fn datalog_program(query: &TopologicalQuery, schema: &Schema) -> Option<Program> {
+    // A region id beyond the schema names no `Region_*` relation in the
+    // export; the native algorithms answer such queries (vacuously false
+    // region extents), so the datalog route declines instead of fabricating
+    // a relation name — `schema.name` would panic.
+    if query.regions().into_iter().any(|region| region >= schema.len()) {
+        return None;
+    }
+    let answer = || Goal::nullary("Answer");
     match *query {
         TopologicalQuery::Intersects(a, b) => {
             let (ra, rb) = (region_relation(schema, a), region_relation(schema, b));
-            Some(Program::new("Answer").rule(Rule::new(
-                "Answer",
-                vec![],
-                vec![pos(&ra, vec![v(0)]), pos(&rb, vec![v(0)])],
-            )))
+            Some(
+                Program::new("Answer")
+                    .rule(Rule::new(
+                        "Answer",
+                        vec![],
+                        vec![pos(&ra, vec![v(0)]), pos(&rb, vec![v(0)])],
+                    ))
+                    .with_goal(answer()),
+            )
         }
         TopologicalQuery::Disjoint(a, b) => {
             let (ra, rb) = (region_relation(schema, a), region_relation(schema, b));
@@ -82,7 +117,8 @@ pub fn datalog_program(query: &TopologicalQuery, schema: &Schema) -> Option<Prog
                         vec![],
                         vec![pos(&ra, vec![v(0)]), pos(&rb, vec![v(0)])],
                     ))
-                    .rule(Rule::new("Answer", vec![], vec![neg("HasCommon", vec![])])),
+                    .rule(Rule::new("Answer", vec![], vec![neg("HasCommon", vec![])]))
+                    .with_goal(answer()),
             )
         }
         TopologicalQuery::Contains(a, b) => {
@@ -94,39 +130,11 @@ pub fn datalog_program(query: &TopologicalQuery, schema: &Schema) -> Option<Prog
                         vec![],
                         vec![pos(&rb, vec![v(0)]), neg(&ra, vec![v(0)])],
                     ))
-                    .rule(Rule::new("Answer", vec![], vec![neg("HasViolation", vec![])])),
+                    .rule(Rule::new("Answer", vec![], vec![neg("HasViolation", vec![])]))
+                    .with_goal(answer()),
             )
         }
-        TopologicalQuery::IsConnected(a) => {
-            let ra = region_relation(schema, a);
-            let mut program = Program::new("Answer");
-            for rule in adjacency_rules() {
-                program.rules.push(rule);
-            }
-            program = program
-                .rule(Rule::new("InR", vec![v(0)], vec![pos(&ra, vec![v(0)])]))
-                .rule(Rule::new("Reach", vec![v(0), v(0)], vec![pos("InR", vec![v(0)])]))
-                .rule(Rule::new(
-                    "Reach",
-                    vec![v(0), v(2)],
-                    vec![
-                        pos("Reach", vec![v(0), v(1)]),
-                        pos("Adj", vec![v(1), v(2)]),
-                        pos("InR", vec![v(2)]),
-                    ],
-                ))
-                .rule(Rule::new(
-                    "Disconnected",
-                    vec![],
-                    vec![
-                        pos("InR", vec![v(0)]),
-                        pos("InR", vec![v(1)]),
-                        neg("Reach", vec![v(0), v(1)]),
-                    ],
-                ))
-                .rule(Rule::new("Answer", vec![], vec![neg("Disconnected", vec![])]));
-            Some(program)
-        }
+        TopologicalQuery::IsConnected(a) => Some(linear_connectivity_program(schema, a)),
         TopologicalQuery::HasHole(a) => {
             let ra = region_relation(schema, a);
             Some(
@@ -150,11 +158,98 @@ pub fn datalog_program(query: &TopologicalQuery, schema: &Schema) -> Option<Prog
                             neg(&ra, vec![v(0)]),
                             neg("ReachFace", vec![v(0)]),
                         ],
-                    )),
+                    ))
+                    .with_goal(answer()),
             )
         }
         _ => None,
     }
+}
+
+/// Linear-size connectivity: instead of the quadratic all-pairs `Reach`, the
+/// program walks the successor order to the *first* cell of the region (its
+/// component representative), floods one single-source reachability from it,
+/// and asks whether any region cell was missed:
+///
+/// ```text
+/// InR(x)        ← Region_a(x)
+/// Probe(z)      ← Zero(z)
+/// Probe(y)      ← Probe(x), ¬InR(x), Succ(x, y)
+/// Seed(x)       ← Probe(x), InR(x)
+/// ReachS(x)     ← Seed(x)
+/// ReachS(y)     ← ReachS(x), Adj(x, y), InR(y)
+/// Disconnected  ← InR(x), ¬ReachS(x)
+/// Answer        ← ¬Disconnected
+/// ```
+///
+/// `Probe` stops at the first region cell (its recursion requires `¬InR`),
+/// so `Seed` is a single representative and every derived relation is
+/// `O(cells + adjacencies)` — against `O(cells²)` for the all-pairs program
+/// ([`quadratic_connectivity_program`]). An empty region derives no
+/// `Disconnected` and counts as connected, exactly like the all-pairs
+/// program. Needs the `Zero`/`Succ` scaffolding of [`program_structure`].
+pub fn linear_connectivity_program(schema: &Schema, region: usize) -> Program {
+    let ra = region_relation(schema, region);
+    let mut program = Program::new("Answer");
+    for rule in adjacency_rules() {
+        program.rules.push(rule);
+    }
+    program
+        .rule(Rule::new("InR", vec![v(0)], vec![pos(&ra, vec![v(0)])]))
+        .rule(Rule::new("Probe", vec![v(0)], vec![pos("Zero", vec![v(0)])]))
+        .rule(Rule::new(
+            "Probe",
+            vec![v(1)],
+            vec![pos("Probe", vec![v(0)]), neg("InR", vec![v(0)]), pos("Succ", vec![v(0), v(1)])],
+        ))
+        .rule(Rule::new("Seed", vec![v(0)], vec![pos("Probe", vec![v(0)]), pos("InR", vec![v(0)])]))
+        .rule(Rule::new("ReachS", vec![v(0)], vec![pos("Seed", vec![v(0)])]))
+        .rule(Rule::new(
+            "ReachS",
+            vec![v(1)],
+            vec![pos("ReachS", vec![v(0)]), pos("Adj", vec![v(0), v(1)]), pos("InR", vec![v(1)])],
+        ))
+        .rule(Rule::new(
+            "Disconnected",
+            vec![],
+            vec![pos("InR", vec![v(0)]), neg("ReachS", vec![v(0)])],
+        ))
+        .rule(Rule::new("Answer", vec![], vec![neg("Disconnected", vec![])]))
+        .with_goal(Goal::nullary("Answer"))
+}
+
+/// The all-pairs connectivity program the query library shipped before the
+/// linear derivation replaced it: `Reach(x, y)` materialises every pair of
+/// mutually reachable region cells, so it is quadratic in the region size.
+/// Kept as the measured reference for the bench runner's `demand` stage and
+/// as the natural host for bound-goal demonstrations (`Reach(c, y)` under
+/// [`Program::run_goal`] derives only the component of `c`). Runs on a bare
+/// invariant export; no successor scaffolding needed.
+pub fn quadratic_connectivity_program(schema: &Schema, region: usize) -> Program {
+    let ra = region_relation(schema, region);
+    let mut program = Program::new("Answer");
+    for rule in adjacency_rules() {
+        program.rules.push(rule);
+    }
+    program
+        .rule(Rule::new("InR", vec![v(0)], vec![pos(&ra, vec![v(0)])]))
+        .rule(Rule::new("Reach", vec![v(0), v(0)], vec![pos("InR", vec![v(0)])]))
+        .rule(Rule::new(
+            "Reach",
+            vec![v(0), v(2)],
+            vec![
+                pos("Reach", vec![v(0), v(1)]),
+                pos("Adj", vec![v(1), v(2)]),
+                pos("InR", vec![v(2)]),
+            ],
+        ))
+        .rule(Rule::new(
+            "Disconnected",
+            vec![],
+            vec![pos("InR", vec![v(0)]), pos("InR", vec![v(1)]), neg("Reach", vec![v(0), v(1)])],
+        ))
+        .rule(Rule::new("Answer", vec![], vec![neg("Disconnected", vec![])]))
+        .with_goal(Goal::nullary("Answer"))
 }
 
 /// A fixpoint+counting program deciding whether a region consisting of
@@ -200,6 +295,7 @@ pub fn even_closed_curves_program(schema: &Schema, region: usize) -> Program {
                 pos("Even", vec![v(1)]),
             ],
         ))
+        .with_goal(Goal::nullary("Answer"))
 }
 
 /// The paper's Section 4 example `(**)`: the first-order sentence over the
@@ -261,7 +357,7 @@ mod tests {
     fn datalog_programs_agree_with_direct_algorithms() {
         let instance = instance();
         let invariant = top(&instance);
-        let structure = invariant.to_structure();
+        let structure = program_structure(&invariant);
         let queries = [
             TopologicalQuery::Intersects(0, 1),
             TopologicalQuery::Intersects(1, 2),
@@ -274,11 +370,42 @@ mod tests {
         ];
         for query in queries {
             let program = datalog_program(&query, instance.schema()).expect("program available");
+            let direct = evaluate_on_invariant(&query, &invariant);
+            assert_eq!(run(&program, &structure), direct, "disagreement on {query:?}");
+            // The goal-directed path answers the same goal identically.
             assert_eq!(
-                run(&program, &structure),
-                evaluate_on_invariant(&query, &invariant),
-                "disagreement on {query:?}"
+                program.run_goal_boolean(&structure, Semantics::Stratified),
+                direct,
+                "goal-directed disagreement on {query:?}"
             );
+        }
+    }
+
+    #[test]
+    fn linear_and_quadratic_connectivity_agree() {
+        // Connected, disconnected and empty regions, cross-checked against
+        // the direct geometric evaluation and the invariant-side fast path.
+        let mut split = Region::rectangle(0, 0, 40, 40);
+        split.rings.extend(Region::rectangle(60, 0, 100, 40).rings);
+        let cases = [
+            SpatialInstance::from_regions([("a", Region::rectangle(0, 0, 50, 50))]),
+            SpatialInstance::from_regions([("a", split)]),
+            instance(),
+        ];
+        for spatial in &cases {
+            let invariant = top(spatial);
+            let prepared = program_structure(&invariant);
+            let bare = invariant.to_structure();
+            let query = TopologicalQuery::IsConnected(0);
+            let direct = crate::spatial_side::evaluate_direct(&query, spatial);
+            let fast = evaluate_on_invariant(&query, &invariant);
+            let linear = linear_connectivity_program(spatial.schema(), 0);
+            let quadratic = quadratic_connectivity_program(spatial.schema(), 0);
+            assert_eq!(fast, direct);
+            assert_eq!(run(&linear, &prepared), direct);
+            assert_eq!(run(&quadratic, &bare), direct);
+            assert_eq!(linear.run_goal_boolean(&prepared, Semantics::Stratified), direct);
+            assert_eq!(quadratic.run_goal_boolean(&bare, Semantics::Stratified), direct);
         }
     }
 

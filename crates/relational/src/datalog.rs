@@ -76,8 +76,11 @@ use crate::structure::Structure;
 use std::collections::{HashMap, HashSet};
 
 mod eval;
+pub mod magic;
 #[cfg(feature = "naive-reference")]
 pub mod naive;
+
+pub use magic::Goal;
 
 /// A body literal of a Datalog rule.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -163,12 +166,24 @@ pub struct Program {
     /// Name of the output relation; the Boolean answer is "is it non-empty
     /// after evaluation".
     pub output: String,
+    /// Optional goal annotation: the atom the program exists to answer,
+    /// made explicit so goal-directed evaluation ([`Program::run_goal`])
+    /// knows which bindings to demand instead of relying on the
+    /// "output relation non-empty" convention. `None` means the whole
+    /// output relation is the goal ([`Program::goal_atom`]).
+    pub goal: Option<Goal>,
 }
 
 impl Program {
     /// Creates an empty program with the given output relation.
     pub fn new(output: &str) -> Self {
-        Program { rules: Vec::new(), output: output.to_string() }
+        Program { rules: Vec::new(), output: output.to_string(), goal: None }
+    }
+
+    /// Annotates the program with its goal atom (builder style).
+    pub fn with_goal(mut self, goal: Goal) -> Self {
+        self.goal = Some(goal);
+        self
     }
 
     /// Adds a rule (builder style).
@@ -281,6 +296,93 @@ impl Program {
         }
     }
 
+    /// The goal atom this program answers: the explicit [`Program::goal`]
+    /// annotation if present, otherwise the fully free atom over the output
+    /// relation (every output tuple is an answer).
+    pub fn goal_atom(&self) -> Goal {
+        self.goal.clone().unwrap_or_else(|| {
+            Goal::all_free(&self.output, self.head_arity(&self.output).unwrap_or(0))
+        })
+    }
+
+    /// Goal-directed evaluation: answers `goal` on `input`, deriving only
+    /// demanded facts where possible. Attempts the magic-set rewrite
+    /// ([`magic::rewrite`]) and runs the rewritten program through the same
+    /// semi-naive engine as [`Program::run`]; whenever the rewrite refuses
+    /// (partial semantics, non-monotone inflationary use, unstratifiable
+    /// rewrite, unsafe rules, `TOPO_DEMAND=off`, …) it evaluates bottom-up
+    /// instead. Either way the result is the sorted goal-matching tuples of
+    /// the goal relation — bit-for-bit what [`Program::run`] plus a goal
+    /// lookup returns (`tests/demand_equivalence.rs`). `None` only in
+    /// partial-fixpoint mode when no fixpoint is reached within `max_steps`.
+    ///
+    /// ```
+    /// use topo_relational::{Goal, Literal, Program, Rule, Semantics, Structure, Term};
+    ///
+    /// let mut graph = Structure::new(4);
+    /// for (a, b) in [(0, 1), (1, 2), (2, 3)] {
+    ///     graph.insert("E", &[a, b]);
+    /// }
+    /// let v = Term::Var;
+    /// let program = Program::new("T")
+    ///     .rule(Rule::new(
+    ///         "T",
+    ///         vec![v(0), v(1)],
+    ///         vec![Literal::Pos { relation: "E".into(), terms: vec![v(0), v(1)] }],
+    ///     ))
+    ///     .rule(Rule::new(
+    ///         "T",
+    ///         vec![v(0), v(2)],
+    ///         vec![
+    ///             Literal::Pos { relation: "T".into(), terms: vec![v(0), v(1)] },
+    ///             Literal::Pos { relation: "E".into(), terms: vec![v(1), v(2)] },
+    ///         ],
+    ///     ));
+    /// // What does 2 reach? Only the demanded slice of T is derived.
+    /// let goal = Goal::new("T", vec![Term::Const(2), v(0)]);
+    /// let answers = program.run_goal(&goal, &graph, Semantics::Inflationary, usize::MAX);
+    /// assert_eq!(answers.unwrap(), vec![vec![2, 3]]);
+    /// ```
+    pub fn run_goal(
+        &self,
+        goal: &Goal,
+        input: &Structure,
+        semantics: Semantics,
+        max_steps: usize,
+    ) -> Option<Vec<Vec<u32>>> {
+        let rewritten = if !magic::demand_enabled() {
+            Err(magic::FallbackReason::Disabled)
+        } else if goal
+            .terms
+            .iter()
+            .any(|t| matches!(t, Term::Const(c) if *c as usize >= input.domain_size()))
+        {
+            // A magic seed outside the domain cannot be inserted; bottom-up
+            // evaluation simply finds no matching tuple.
+            Err(magic::FallbackReason::GoalOutOfDomain)
+        } else {
+            magic::rewrite(self, goal, semantics)
+        };
+        match rewritten {
+            Ok(m) => m
+                .program
+                .run(input, semantics, max_steps)
+                .map(|result| magic::goal_answers(&result, &m.goal_relation, goal)),
+            Err(_) => self
+                .run(input, semantics, max_steps)
+                .map(|result| magic::goal_answers(&result, &goal.relation, goal)),
+        }
+    }
+
+    /// Goal-directed Boolean evaluation: does [`Program::goal_atom`] have an
+    /// answer on `input`? A diverging partial fixpoint counts as `false`,
+    /// matching the "output non-empty" convention of [`Program::eval_boolean`].
+    pub fn run_goal_boolean(&self, input: &Structure, semantics: Semantics) -> bool {
+        self.run_goal(&self.goal_atom(), input, semantics, usize::MAX)
+            .map(|answers| !answers.is_empty())
+            .unwrap_or(false)
+    }
+
     /// Runs the program with inflationary semantics and reports whether the
     /// output relation is non-empty.
     pub fn eval_boolean(&self, input: &Structure) -> bool {
@@ -311,6 +413,25 @@ impl Program {
     /// Panics if the program has negation (or counting) through recursion,
     /// i.e. cannot be stratified.
     fn stratify(&self) -> Vec<Vec<&Rule>> {
+        match self.try_stratify() {
+            Ok(strata) => strata,
+            Err(relation) => {
+                panic!("program is not stratifiable (negation through recursion on {relation})")
+            }
+        }
+    }
+
+    /// Can the program be stratified? The non-panicking face of
+    /// stratification; the magic-set rewrite uses it to decide statically
+    /// whether stratified goal-directed evaluation is sound or must fall
+    /// back to the bottom-up path.
+    pub fn is_stratifiable(&self) -> bool {
+        self.try_stratify().is_ok()
+    }
+
+    /// Stratification as a `Result`: the strata, or the head relation on
+    /// which negation (or counting) through recursion was detected.
+    fn try_stratify(&self) -> Result<Vec<Vec<&Rule>>, String> {
         let derived = self.derived_relations();
         // Stratum number per derived relation, computed by iterating the
         // standard constraints to a fixpoint (keys borrowed from the rules).
@@ -338,11 +459,9 @@ impl Program {
                     }
                 }
                 if required > head_level {
-                    assert!(
-                        required < max_stratum,
-                        "program is not stratifiable (negation through recursion on {})",
-                        rule.head_relation
-                    );
+                    if required >= max_stratum {
+                        return Err(rule.head_relation.clone());
+                    }
                     stratum.insert(rule.head_relation.as_str(), required);
                     changed = true;
                 }
@@ -356,7 +475,7 @@ impl Program {
         for rule in &self.rules {
             out[stratum[rule.head_relation.as_str()]].push(rule);
         }
-        out
+        Ok(out)
     }
 
     fn head_arity(&self, name: &str) -> Option<usize> {

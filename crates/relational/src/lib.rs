@@ -31,7 +31,8 @@ pub mod games;
 pub mod isomorphism;
 pub mod structure;
 
-pub use datalog::{Literal, Program, Rule, Semantics};
+pub use datalog::magic::{FallbackReason, MagicProgram};
+pub use datalog::{Goal, Literal, Program, Rule, Semantics};
 pub use fo::{Formula, Term};
 pub use games::fo_equivalent;
 pub use isomorphism::{find_isomorphism, isomorphic, isomorphic_with_keys};

@@ -169,13 +169,31 @@ impl Structure {
     /// Adds the standard arithmetic scaffolding on a numeric copy of the
     /// domain: elements `0..domain_size` get relations `Zero`, `MaxNum`,
     /// `Succ`, `NumLess`, `Even`. This is the auxiliary ordered domain that
-    /// fixpoint+counting queries count into.
+    /// fixpoint+counting queries count into. `NumLess` is quadratic in the
+    /// domain; programs that only need to walk the order should prepare
+    /// their input with [`Structure::add_successor_relations`] instead.
     pub fn add_numeric_relations(&mut self) {
+        let n = self.domain_size;
+        self.add_successor_relations();
+        self.add_relation("NumLess", 2);
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                self.insert("NumLess", &[i, j]);
+            }
+        }
+    }
+
+    /// Adds the linear-size slice of the numeric scaffolding: `Zero`,
+    /// `MaxNum`, `Succ` and `Even`, without the quadratic `NumLess`. This is
+    /// the Theorem 3.4 auxiliary successor structure — enough for programs
+    /// that walk the domain in order (the query library's linear
+    /// connectivity derivation seeds its component walk from `Zero`/`Succ`)
+    /// and for parity tests via `Even`; `O(domain)` tuples total.
+    pub fn add_successor_relations(&mut self) {
         let n = self.domain_size;
         self.add_relation("Zero", 1);
         self.add_relation("MaxNum", 1);
         self.add_relation("Succ", 2);
-        self.add_relation("NumLess", 2);
         self.add_relation("Even", 1);
         if n == 0 {
             return;
@@ -188,9 +206,6 @@ impl Structure {
             }
             if (i as usize) + 1 < n {
                 self.insert("Succ", &[i, i + 1]);
-            }
-            for j in (i + 1)..n as u32 {
-                self.insert("NumLess", &[i, j]);
             }
         }
     }

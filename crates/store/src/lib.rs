@@ -90,7 +90,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard, TryLockError};
 use topo_invariant::{top, CodeHash, TopologicalInvariant};
-use topo_queries::{evaluate_on_invariant, TopologicalQuery};
+use topo_queries::{evaluate_goal_directed, evaluate_on_invariant, TopologicalQuery};
 use topo_spatial::SpatialInstance;
 
 pub mod fault;
@@ -756,10 +756,28 @@ impl InvariantStore {
     }
 
     /// Evaluates a query directly on a class representative (the un-memoised
-    /// path); `None` if the class died in the meantime.
+    /// path); `None` if the class died in the meantime. This is the cheap
+    /// degradation route (memo disabled, lock budget exhausted): the direct
+    /// combinatorial algorithms, no program machinery.
     fn eval_on_representative(&self, class: ClassId, query: &TopologicalQuery) -> Option<bool> {
         let rep = self.class_representative(class)?;
         Some(evaluate_on_invariant(query, &rep))
+    }
+
+    /// Evaluates a query on a class representative through the goal-directed
+    /// Datalog path — the route memo *fills* take, so each per-(class, query)
+    /// answer is computed once by the demand-driven evaluator and then served
+    /// from the memo. Observationally identical to
+    /// [`eval_on_representative`](Self::eval_on_representative) (the
+    /// equivalence suites pin both paths against the one-shot oracle); memo
+    /// keys and answers are unchanged.
+    fn eval_goal_directed_on_representative(
+        &self,
+        class: ClassId,
+        query: &TopologicalQuery,
+    ) -> Option<bool> {
+        let rep = self.class_representative(class)?;
+        Some(evaluate_goal_directed(query, &rep))
     }
 
     fn query_class_inner(&self, class: ClassId, query: &TopologicalQuery) -> Option<bool> {
@@ -790,7 +808,7 @@ impl InvariantStore {
         // Evaluate on the shared-immutable representative outside any lock:
         // racing threads at worst duplicate this evaluation, and both write
         // the same answer below.
-        let answer = self.eval_on_representative(class, query)?;
+        let answer = self.eval_goal_directed_on_representative(class, query)?;
         let Some(mut shard) = self.budget_write(shard) else {
             // Could not record the answer within the budget; the answer
             // itself is already computed, so serve it un-memoised.

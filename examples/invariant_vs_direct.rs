@@ -25,7 +25,7 @@ fn main() {
     let start = Instant::now();
     let invariant = topo_core::top(&instance);
     println!("invariant construction: {:?} ({} cells)", start.elapsed(), invariant.cell_count());
-    let structure = invariant.to_structure();
+    let structure = topo_core::program_structure(&invariant);
     let rebuilt = topo_core::invert(&invariant).ok();
 
     let queries = [
@@ -45,8 +45,7 @@ fn main() {
 
         let datalog = topo_core::datalog_program(&query, &schema).map(|program| {
             let t = Instant::now();
-            let out = program.run(&structure, Semantics::Stratified, usize::MAX).unwrap();
-            let answer = out.relation(&program.output).map(|r| !r.is_empty()).unwrap_or(false);
+            let answer = program.run_goal_boolean(&structure, Semantics::Stratified);
             (answer, t.elapsed())
         });
 

@@ -86,7 +86,9 @@ fn query_library_programs_agree_on_seeded_workloads() {
     ];
     for (name, instance) in &instances {
         let invariant = top(instance);
-        let structure = invariant.to_structure();
+        // The prepared export (successor scaffolding included) is what the
+        // query library actually runs its programs on.
+        let structure = topo_core::program_structure(&invariant);
         for query in &queries {
             if matches!(
                 query,
