@@ -29,6 +29,36 @@ pub fn build_arrangement(input: &ArrangementInput) -> Arrangement {
     Builder::new(input).run()
 }
 
+/// Phase 1 alone: for every input segment, the points at which it must be
+/// split — its endpoints, every intersection with another input segment, and
+/// every isolated input point lying on it. `result[i]` belongs to
+/// `input.segments[i]`; the points come in no particular order and may repeat
+/// (the builder normalises with a per-segment sort + dedup).
+///
+/// Exposed so callers that already know a subset of the pairwise events (an
+/// incremental maintainer with a pair cache, say) can assemble split lists
+/// themselves and skip the quadratic phase via
+/// [`build_arrangement_from_splits`].
+pub fn compute_split_points(input: &ArrangementInput) -> Vec<Vec<Point>> {
+    Builder::new(input).compute_splits()
+}
+
+/// Builds the arrangement from precomputed split lists, skipping phase 1.
+///
+/// Contract: `splits[i]` must contain segment `i`'s two endpoints plus every
+/// interior event point (intersections with other segments, isolated points on
+/// the segment), all lying on segment `i`. Order and duplicates are
+/// irrelevant. Feeding the output of [`compute_split_points`] reproduces
+/// [`build_arrangement`] exactly; feeding anything less yields an arrangement
+/// of the *wrong* subdivision, so callers own the completeness argument.
+pub fn build_arrangement_from_splits(
+    input: &ArrangementInput,
+    splits: Vec<Vec<Point>>,
+) -> Arrangement {
+    assert_eq!(splits.len(), input.segments.len(), "one split list per input segment");
+    Builder::new(input).run_from_splits(splits)
+}
+
 /// An undirected arrangement edge before incidence wiring: its two endpoint
 /// vertices and the encoded source tags of the input segments covering it.
 type RawEdge = (VertexId, VertexId, Vec<u32>);
@@ -61,6 +91,10 @@ impl<'a> Builder<'a> {
 
     fn run(mut self) -> Arrangement {
         let splits = self.compute_splits();
+        self.run_from_splits(splits)
+    }
+
+    fn run_from_splits(mut self, splits: Vec<Vec<Point>>) -> Arrangement {
         let (edges, point_vertices) = self.build_edges(splits);
         let rotations = self.build_rotations(&edges);
         let (next, cycle_of, cycle_count) = self.trace_cycles(&edges, &rotations);

@@ -31,7 +31,7 @@ mod containment;
 #[cfg(feature = "naive-reference")]
 pub mod naive;
 
-pub use build::build_arrangement;
+pub use build::{build_arrangement, build_arrangement_from_splits, compute_split_points};
 #[cfg(feature = "naive-reference")]
 pub use naive::build_arrangement_naive;
 

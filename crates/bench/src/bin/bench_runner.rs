@@ -25,13 +25,19 @@
 //! `run_goal` vs plain bottom-up `run`, against the retired quadratic
 //! connectivity program (semi-naive and the frozen naive oracle), plus a
 //! bound-goal single-source reachability demo where the rewrite's demand
-//! restriction is asymptotic, not constant-factor.
-//! `BENCH_9.json` at the repository root is the committed baseline
-//! (`BENCH_8.json`/`BENCH_7.json`/`BENCH_6.json`/`BENCH_5.json`/
-//! `BENCH_4.json`/`BENCH_3.json`/`BENCH_2.json` record the earlier
-//! trajectory; BENCHMARKS.md tabulates it); see DESIGN.md, "Performance",
-//! "Canonicalisation", "Datalog engine", "Demand-driven evaluation",
-//! "Invariant store", "Durability & degradation" and "Parallelism".
+//! restriction is asymptotic, not constant-factor. An eighth stage —
+//! `incremental` — measures single-region edit latency through the
+//! incremental maintenance layer (`MaintainedInvariant`: remove a region,
+//! read the repaired canonical hash, re-insert it, read again) against the
+//! same state sequence as two cold `top(I)` rebuilds, on each cartographic
+//! workload at two scales.
+//! `BENCH_10.json` at the repository root is the committed baseline
+//! (`BENCH_9.json`/`BENCH_8.json`/`BENCH_7.json`/`BENCH_6.json`/
+//! `BENCH_5.json`/`BENCH_4.json`/`BENCH_3.json`/`BENCH_2.json` record the
+//! earlier trajectory; BENCHMARKS.md tabulates it); see DESIGN.md,
+//! "Performance", "Canonicalisation", "Datalog engine", "Demand-driven
+//! evaluation", "Invariant store", "Durability & degradation",
+//! "Parallelism" and "Incremental maintenance".
 //!
 //! ```text
 //! bench_runner [--quick] [--stage NAME]... [--out PATH]
@@ -41,7 +47,8 @@
 //! on the scales where it is intractable (for CI smoke coverage); the default
 //! sample count matches the committed baseline. `--stage` (repeatable)
 //! restricts the run to the named stages — `construction`, `datalog`,
-//! `demand`, `store`, `recovery`, `parallel` — and the JSON records which
+//! `demand`, `store`, `recovery`, `parallel`, `incremental` — and the JSON
+//! records which
 //! stages were actually run, so a filtered record is honest about what it
 //! holds. Every median in the JSON is accompanied by the sample count
 //! actually used for it, so quick-mode records are honest about how little
@@ -60,7 +67,8 @@ use topo_core::relational::Term;
 use topo_core::spatial::transform::AffineMap;
 use topo_core::{
     datalog_program, program_structure, quadratic_connectivity_program, Goal, InvariantStore,
-    MemoryBackend, Semantics, SpatialInstance, StoreConfig, TopologicalInvariant, TopologicalQuery,
+    MaintainedInvariant, MemoryBackend, Region, Semantics, SpatialInstance, StoreConfig,
+    TopologicalInvariant, TopologicalQuery,
 };
 use topo_datagen::{figure1, ign_city, nested_rings, sequoia_hydro, sequoia_landcover, Scale};
 
@@ -99,6 +107,10 @@ const PARALLEL_THREADS: [usize; 4] = [1, 2, 4, 8];
 /// hot case the pool exists for), smaller in quick mode.
 const PARALLEL_GRID: usize = 28;
 const PARALLEL_GRID_QUICK: usize = 12;
+/// Scales for the incremental-maintenance stage: a small grid where full
+/// rebuilds are cheap (the honest case for incremental repair) and a medium
+/// grid where they are not.
+const INCREMENTAL_GRIDS: [usize; 2] = [4, 16];
 
 struct ScaleReport {
     grid: usize,
@@ -868,13 +880,119 @@ fn measure_demand(
     out
 }
 
+/// The incremental-maintenance stage at one scale of one workload: the
+/// latency of a single-region edit round trip (remove one region, read the
+/// repaired canonical hash, re-insert it, read again) through
+/// [`MaintainedInvariant`], against the same state sequence via two cold
+/// `top(I)` rebuilds.
+struct IncrementalScaleReport {
+    grid: usize,
+    cells: usize,
+    regions: usize,
+    /// Median maintained round trip (two edits + two hash reads).
+    incremental_ns: u128,
+    /// Median cold round trip (two full `top` + canonicalisation runs).
+    rebuild_ns: u128,
+    samples: usize,
+    /// Maintenance-cache counters accumulated over the whole measurement —
+    /// the honesty record of how much work the repairs actually did.
+    stats: topo_core::MaintainStats,
+}
+
+impl IncrementalScaleReport {
+    fn speedup(&self) -> f64 {
+        self.rebuild_ns as f64 / self.incremental_ns as f64
+    }
+}
+
+/// Measures the incremental stage on one workload: per scale, a maintained
+/// instance absorbs remove + re-insert round trips (rotating over the
+/// regions) with the canonical hash read back after every edit, vs the two
+/// cold rebuilds the same state sequence costs without maintenance. One
+/// warm-up pass per region runs untimed, so the medians report the caches'
+/// steady state — the regime maintenance exists for; the cold baseline has
+/// no corresponding cache to warm.
+fn measure_incremental(
+    gen: &dyn Fn(usize) -> SpatialInstance,
+    samples: usize,
+) -> Vec<IncrementalScaleReport> {
+    let mut out = Vec::new();
+    for &grid in &INCREMENTAL_GRIDS {
+        let instance = gen(grid);
+        let regions = instance.schema().len();
+        let mut maintained = MaintainedInvariant::from_instance(&instance);
+        for r in 0..regions {
+            let region = maintained.region(r).clone();
+            maintained.remove_region(r);
+            maintained.insert_region(r, region);
+        }
+        let cells = maintained.invariant().cell_count();
+        let stats_before = maintained.stats();
+
+        let mut turn = 0usize;
+        let incremental_ns = median_ns(samples, || {
+            let r = turn % regions;
+            turn += 1;
+            let region = maintained.region(r).clone();
+            maintained.remove_region(r);
+            std::hint::black_box(maintained.invariant().code_hash());
+            maintained.insert_region(r, region);
+            std::hint::black_box(maintained.invariant().code_hash());
+        });
+        let stats_after = maintained.stats();
+
+        // The cold baseline over the identical state sequence: the edited
+        // instances are prepared untimed; the rebuilds (and their cold
+        // canonicalisations) are what is timed.
+        let without: Vec<SpatialInstance> = (0..regions)
+            .map(|r| {
+                let mut w = instance.clone();
+                w.set_region(r, Region::new());
+                w
+            })
+            .collect();
+        let mut turn = 0usize;
+        let rebuild_ns = median_ns(samples, || {
+            let r = turn % regions;
+            turn += 1;
+            std::hint::black_box(topo_core::top(&without[r]).code_hash());
+            std::hint::black_box(topo_core::top(&instance).code_hash());
+        });
+
+        // Differential guard: the maintained invariant ends the measurement
+        // bit-identical to a cold rebuild of the same state.
+        assert_eq!(
+            maintained.invariant().canonical_code(),
+            topo_core::top(&instance).canonical_code(),
+            "maintained invariant diverged from cold rebuild"
+        );
+
+        out.push(IncrementalScaleReport {
+            grid,
+            cells,
+            regions,
+            incremental_ns,
+            rebuild_ns,
+            samples,
+            stats: topo_core::MaintainStats {
+                edits: stats_after.edits - stats_before.edits,
+                group_builds: stats_after.group_builds - stats_before.group_builds,
+                group_reuses: stats_after.group_reuses - stats_before.group_reuses,
+                pair_computes: stats_after.pair_computes - stats_before.pair_computes,
+                pair_reuses: stats_after.pair_reuses - stats_before.pair_reuses,
+            },
+        });
+    }
+    out
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 /// Stage names accepted by `--stage`, in run order.
-const STAGE_NAMES: [&str; 6] =
-    ["construction", "datalog", "demand", "store", "recovery", "parallel"];
+const STAGE_NAMES: [&str; 7] =
+    ["construction", "datalog", "demand", "store", "recovery", "parallel", "incremental"];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -915,7 +1033,7 @@ fn main() {
             if quick {
                 "BENCH_quick.json".to_string()
             } else {
-                "BENCH_9.json".to_string()
+                "BENCH_10.json".to_string()
             }
         });
     let samples = if quick { QUICK_SAMPLES } else { FULL_SAMPLES };
@@ -932,7 +1050,7 @@ fn main() {
     // subset of stages `--stage` selects.
     let mut sections: Vec<String> = Vec::new();
     let mut header = String::new();
-    header.push_str("  \"id\": \"BENCH_9\",\n");
+    header.push_str("  \"id\": \"BENCH_10\",\n");
     header.push_str(
         "  \"description\": \"top(I) construction, canonicalisation, datalog query \
          evaluation, the goal-directed demand path and the concurrent invariant store: \
@@ -958,7 +1076,12 @@ fn main() {
          sweeps the in-tree topo-parallel pool over 1/2/4/8 threads on the hydro workload \
          — end-to-end top(I), cold canonicalisation and the batched store ingest per pool \
          size, with host_threads recording how many cores the sweep actually had (on a \
-         single-core host the curve is honestly flat); stages_run records which stages \
+         single-core host the curve is honestly flat); the incremental section measures \
+         single-region edit latency through MaintainedInvariant — remove one region, read \
+         the repaired canonical hash, re-insert, read again, rotating over the regions — \
+         against the same state sequence as two cold top(I) rebuilds, on warmed maintenance \
+         caches (one untimed pass per region), with maintain_stats recording how many group \
+         invariants each measurement rebuilt vs reused; stages_run records which stages \
          this file actually holds (--stage filtering); samples objects record the sample \
          counts actually used per median; naive medians are null where the reference path \
          is intractable\",\n",
@@ -1370,6 +1493,72 @@ fn main() {
         sections.push(sec);
     }
 
+    // The incremental-maintenance stage: single-region edit latency through
+    // MaintainedInvariant vs cold rebuilds of the same states.
+    let mut incremental_reports: Vec<(&str, Vec<IncrementalScaleReport>)> = Vec::new();
+    if run_stage("incremental") {
+        let host_threads =
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let mut sec = String::new();
+        sec.push_str("  \"incremental\": {\n");
+        sec.push_str(&format!("    \"host_threads\": {host_threads},\n"));
+        sec.push_str(&format!(
+            "    \"grids\": [{}],\n",
+            INCREMENTAL_GRIDS.map(|g| g.to_string()).join(", ")
+        ));
+        sec.push_str("    \"workloads\": [\n");
+        for (w, (name, gen)) in workloads.iter().enumerate() {
+            eprintln!("== {name} (incremental) ==");
+            let scales = measure_incremental(gen, samples);
+            sec.push_str("      {\n");
+            sec.push_str(&format!("        \"name\": \"{}\",\n", json_escape(name)));
+            sec.push_str("        \"scales\": [\n");
+            for (g, scale) in scales.iter().enumerate() {
+                eprintln!(
+                    "  grid {:>2}: cells {:>6}  edit round trip {:>12} ns  rebuild {:>12} ns  \
+                     speedup {:>5.1}x  (groups rebuilt {} / reused {})",
+                    scale.grid,
+                    scale.cells,
+                    scale.incremental_ns,
+                    scale.rebuild_ns,
+                    scale.speedup(),
+                    scale.stats.group_builds,
+                    scale.stats.group_reuses,
+                );
+                sec.push_str("          {\n");
+                sec.push_str(&format!("            \"grid\": {},\n", scale.grid));
+                sec.push_str(&format!("            \"cells\": {},\n", scale.cells));
+                sec.push_str(&format!("            \"regions\": {},\n", scale.regions));
+                sec.push_str(&format!(
+                    "            \"edit_round_trip_ns\": {},\n",
+                    scale.incremental_ns
+                ));
+                sec.push_str(&format!(
+                    "            \"rebuild_round_trip_ns\": {},\n",
+                    scale.rebuild_ns
+                ));
+                sec.push_str(&format!("            \"speedup\": {:.2},\n", scale.speedup()));
+                sec.push_str(&format!("            \"samples_used\": {},\n", scale.samples));
+                sec.push_str(&format!(
+                    "            \"maintain_stats\": {{\"edits\": {}, \"group_builds\": {}, \
+                     \"group_reuses\": {}, \"pair_computes\": {}, \"pair_reuses\": {}}}\n",
+                    scale.stats.edits,
+                    scale.stats.group_builds,
+                    scale.stats.group_reuses,
+                    scale.stats.pair_computes,
+                    scale.stats.pair_reuses,
+                ));
+                sec.push_str(if g + 1 < scales.len() { "          },\n" } else { "          }\n" });
+            }
+            sec.push_str("        ]\n");
+            sec.push_str(if w + 1 < workloads.len() { "      },\n" } else { "      }\n" });
+            incremental_reports.push((name, scales));
+        }
+        sec.push_str("    ]\n");
+        sec.push_str("  }");
+        sections.push(sec);
+    }
+
     let out = format!("{{\n{}\n}}\n", sections.join(",\n"));
     std::fs::write(&out_path, &out).expect("write benchmark baseline");
     eprintln!("wrote {out_path}");
@@ -1409,6 +1598,25 @@ fn main() {
                         program.speedup().map_or("n/a".to_string(), |s| format!("{s:.1}x")),
                     );
                 }
+            }
+        }
+    }
+
+    // The incremental stage: maintained edit latency vs cold rebuilds, one
+    // line per workload/scale, greppable from CI logs.
+    if !incremental_reports.is_empty() {
+        eprintln!("== incremental stage per workload ==");
+        for (name, scales) in &incremental_reports {
+            for scale in scales {
+                eprintln!(
+                    "  {name:<20} grid {:>2}  cells {:>6}  edit {:>12} ns  rebuild {:>12} ns  \
+                     speedup {:>5.1}x",
+                    scale.grid,
+                    scale.cells,
+                    scale.incremental_ns,
+                    scale.rebuild_ns,
+                    scale.speedup(),
+                );
             }
         }
     }

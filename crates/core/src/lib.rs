@@ -57,7 +57,7 @@ pub use topo_geometry::{Point, Rational};
 pub use topo_invariant::{canonical_code_naive, top_naive};
 pub use topo_invariant::{
     invert, invert_verified, sweep_stats, top, top_unreduced, CanonicalCode, CanonicalForm,
-    CodeHash, InvariantStats, SweepStats, TopologicalInvariant,
+    CodeHash, InvariantStats, MaintainStats, MaintainedInvariant, SweepStats, TopologicalInvariant,
 };
 pub use topo_queries::{
     component_count, datalog_program, euler_characteristic, evaluate_direct,

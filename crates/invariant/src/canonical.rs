@@ -661,12 +661,45 @@ struct CompResult {
     order: Vec<CellRef>,
 }
 
+/// The per-component sweep results of one orientation: every component's
+/// minimal subtree code, plus the per-face joined children blobs and the
+/// children of each face in sorted-code order.
+struct SweepOutput {
+    results: Vec<Option<CompResult>>,
+    face_child_order: Vec<Vec<ComponentId>>,
+}
+
 fn global_form(
     inv: &TopologicalInvariant,
     idx: &Indexes,
     pool: topo_parallel::Pool,
     orientation: Orientation,
 ) -> (Vec<u32>, Vec<CellRef>) {
+    let swept = sweep_components(inv, idx, pool, orientation);
+
+    // Top level: the components embedded in the exterior face.
+    let exterior = inv.exterior_face();
+    let (top_blob, top_order) = join_children(&idx.children[exterior], &swept.results);
+    let mut tokens = Vec::with_capacity(top_blob.len() + 1);
+    tokens.push(CTRL_EXTERIOR);
+    tokens.extend_from_slice(&top_blob);
+
+    let mut order: Vec<CellRef> = Vec::with_capacity(inv.cell_count());
+    for &c in &top_order {
+        glue_subtree_order(&swept, c, &mut order);
+    }
+    order.push((CellKind::Face, exterior));
+    (tokens, order)
+}
+
+/// Runs the bottom-up component sweep of one orientation (the body of
+/// `global_form` up to, but not including, the exterior-face join).
+fn sweep_components(
+    inv: &TopologicalInvariant,
+    idx: &Indexes,
+    pool: topo_parallel::Pool,
+    orientation: Orientation,
+) -> SweepOutput {
     let ncomp = inv.components().len();
     let nf = inv.face_count();
     let mut scratch = Scratch::new(inv);
@@ -724,31 +757,25 @@ fn global_form(
         }
         level_start = level_end;
     }
+    SweepOutput { results, face_child_order }
+}
 
-    // Top level: the components embedded in the exterior face.
-    let exterior = inv.exterior_face();
-    let (top_blob, top_order) = join_children(&idx.children[exterior], &results);
-    let mut tokens = Vec::with_capacity(top_blob.len() + 1);
-    tokens.push(CTRL_EXTERIOR);
-    tokens.extend_from_slice(&top_blob);
-
-    // Glue the canonical cell order: components depth-first, each component's
-    // cells in its winning order, children of a face in sorted-code order,
-    // the exterior face last. An explicit stack of `(component, resume
-    // position)` frames keeps the traversal bounded regardless of how deeply
-    // the component tree nests.
-    let mut order: Vec<CellRef> = Vec::with_capacity(inv.cell_count());
-    let mut stack: Vec<(ComponentId, usize)> = Vec::with_capacity(top_order.len());
-    stack.extend(top_order.iter().rev().map(|&c| (c, 0)));
+/// Appends the glued cell order of one component subtree: the component's
+/// cells in its winning order, children of a face emitted right after the
+/// face in sorted-code order, recursively. An explicit stack of
+/// `(component, resume position)` frames keeps the traversal bounded
+/// regardless of how deeply the component tree nests.
+fn glue_subtree_order(swept: &SweepOutput, root: ComponentId, order: &mut Vec<CellRef>) {
+    let mut stack: Vec<(ComponentId, usize)> = vec![(root, 0)];
     while let Some((c, resume_at)) = stack.pop() {
-        let result = results[c].as_ref().expect("component code computed");
+        let result = swept.results[c].as_ref().expect("component code computed");
         let mut i = resume_at;
         while i < result.order.len() {
             let cell = result.order[i];
             order.push(cell);
             i += 1;
             if let (CellKind::Face, f) = cell {
-                let children = &face_child_order[f];
+                let children = &swept.face_child_order[f];
                 if !children.is_empty() {
                     // Emit the children next, then resume this component.
                     stack.push((c, i));
@@ -758,8 +785,97 @@ fn global_form(
             }
         }
     }
-    order.push((CellKind::Face, exterior));
-    (tokens, order)
+}
+
+// ---------------------------------------------------------------------------
+// Partial forms for incremental maintenance (crate-internal).
+// ---------------------------------------------------------------------------
+
+/// One exterior-embedded component subtree's serialisation under one
+/// orientation: its joined token stream (exactly the run `join_children`
+/// would splice between `CTRL_CHILD_SEP`s at the exterior face) and its glued
+/// depth-first cell order (exactly the run `global_form` emits for the
+/// subtree). Cell ids refer to whatever invariant produced the form; the
+/// incremental maintainer remaps them before merging.
+#[derive(Clone, Debug)]
+pub(crate) struct SubtreeForm {
+    pub(crate) tokens: Vec<u32>,
+    pub(crate) order: Vec<CellRef>,
+}
+
+/// Per-orientation top-level subtree forms of an invariant:
+/// `[counterclockwise, clockwise]`, each holding one [`SubtreeForm`] per
+/// component embedded in the exterior face, in component-id order (callers
+/// sort by token stream when joining).
+///
+/// Because every component's minimal code is intrinsic (see
+/// [`refine_colours`]), the forms of an invariant built from a *subset* of
+/// another instance's regions — provided the subset's components are exactly
+/// the full instance's components over those cells — are bit-identical to
+/// the corresponding subtree runs of the full sweep. This is the contract
+/// `maintain` relies on to canonicalise disjoint region groups independently.
+pub(crate) fn oriented_top_forms(inv: &TopologicalInvariant) -> [Vec<SubtreeForm>; 2] {
+    let idx = Indexes::build(inv);
+    let pool = topo_parallel::Pool::global();
+    let (ccw, cw) = pool.join(
+        || top_forms(inv, &idx, pool, Orientation::CounterClockwise),
+        || top_forms(inv, &idx, pool, Orientation::Clockwise),
+    );
+    [ccw, cw]
+}
+
+fn top_forms(
+    inv: &TopologicalInvariant,
+    idx: &Indexes,
+    pool: topo_parallel::Pool,
+    orientation: Orientation,
+) -> Vec<SubtreeForm> {
+    let swept = sweep_components(inv, idx, pool, orientation);
+    let exterior = inv.exterior_face();
+    idx.children[exterior]
+        .iter()
+        .map(|&c| {
+            let tokens = swept.results[c].as_ref().expect("component code computed").tokens.clone();
+            let mut order = Vec::new();
+            glue_subtree_order(&swept, c, &mut order);
+            SubtreeForm { tokens, order }
+        })
+        .collect()
+}
+
+/// Assembles a whole-invariant [`CanonicalForm`] from per-orientation
+/// top-level subtree forms (cell ids already remapped to the merged
+/// invariant): per orientation, the subtrees are sorted by token stream and
+/// joined exactly as `join_children` + `global_form` would at the exterior
+/// face; the lexicographically smaller orientation wins, as in
+/// [`canonical_form`]. `exterior` is the merged invariant's exterior face id
+/// and is appended last to each order.
+pub(crate) fn merge_top_forms(
+    schema: Vec<String>,
+    exterior: usize,
+    ccw: Vec<SubtreeForm>,
+    cw: Vec<SubtreeForm>,
+) -> CanonicalForm {
+    fn join(mut forms: Vec<SubtreeForm>, exterior: usize) -> (Vec<u32>, Vec<CellRef>) {
+        forms.sort_by(|a, b| a.tokens.cmp(&b.tokens));
+        let total: usize = forms.iter().map(|f| f.tokens.len() + 1).sum::<usize>();
+        let mut tokens = Vec::with_capacity(total + 1);
+        tokens.push(CTRL_EXTERIOR);
+        let mut order = Vec::new();
+        for (i, f) in forms.iter().enumerate() {
+            if i > 0 {
+                tokens.push(CTRL_CHILD_SEP);
+            }
+            tokens.extend_from_slice(&f.tokens);
+            order.extend_from_slice(&f.order);
+        }
+        order.push((CellKind::Face, exterior));
+        (tokens, order)
+    }
+    let ccw = join(ccw, exterior);
+    let cw = join(cw, exterior);
+    let (tokens, order) = if ccw.0 <= cw.0 { ccw } else { cw };
+    CanonicalForm { code: CanonicalCode { schema, tokens }, order }
 }
 
 /// Joins the finished codes of sibling components into one sorted-multiset

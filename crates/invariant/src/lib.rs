@@ -35,6 +35,7 @@ pub mod complex;
 pub mod construct;
 pub mod invariant;
 pub mod invert;
+pub mod maintain;
 pub mod stats;
 
 #[cfg(any(feature = "naive-reference", test))]
@@ -50,6 +51,7 @@ pub use invariant::{
     TopologicalInvariant,
 };
 pub use invert::{invert, invert_verified};
+pub use maintain::{MaintainStats, MaintainedInvariant};
 pub use stats::InvariantStats;
 
 use topo_spatial::SpatialInstance;

@@ -96,6 +96,7 @@ use topo_spatial::SpatialInstance;
 pub mod fault;
 pub mod gc;
 pub mod persist;
+pub mod update;
 
 pub use fault::{Fault, FaultKind, FaultPlan, FaultSite, FaultyBackend};
 pub use persist::{FileBackend, MemoryBackend, PersistError, StorageBackend};
@@ -267,6 +268,11 @@ pub struct StoreStats {
     /// Instances removed via [`InvariantStore::remove_instance`], including
     /// removals replayed from the WAL during recovery (monotone).
     pub removals: u64,
+    /// Instances re-pointed at a new class via
+    /// [`InvariantStore::update_instance`] (including no-op updates and
+    /// updates replayed from the WAL during recovery; rejected updates are
+    /// counted in [`rejected`](Self::rejected) instead) (monotone).
+    pub updates: u64,
     /// Classes garbage-collected after their last member left (monotone).
     pub gc_classes: u64,
     /// Ingests rejected by the [`StoreConfig::max_classes`] admission bound
@@ -352,6 +358,7 @@ pub(crate) struct Counters {
     pub(crate) dedup_hits: AtomicU64,
     pub(crate) hash_collisions: AtomicU64,
     pub(crate) removals: AtomicU64,
+    pub(crate) updates: AtomicU64,
     pub(crate) gc_classes: AtomicU64,
     pub(crate) rejected: AtomicU64,
     pub(crate) fallback_evals: AtomicU64,
@@ -934,6 +941,7 @@ impl InvariantStore {
             dedup_hits: c.dedup_hits.load(Ordering::Relaxed),
             hash_collisions: c.hash_collisions.load(Ordering::Relaxed),
             removals: c.removals.load(Ordering::Relaxed),
+            updates: c.updates.load(Ordering::Relaxed),
             gc_classes: c.gc_classes.load(Ordering::Relaxed),
             rejected: c.rejected.load(Ordering::Relaxed),
             fallback_evals: c.fallback_evals.load(Ordering::Relaxed),

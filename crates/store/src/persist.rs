@@ -72,6 +72,7 @@ pub const FORMAT_VERSION: u32 = 1;
 
 const TAG_INGEST: u8 = 0x01;
 const TAG_REMOVE: u8 = 0x02;
+const TAG_UPDATE: u8 = 0x03;
 
 // ---------------------------------------------------------------------------
 // checksum
@@ -747,6 +748,33 @@ impl InvariantStore {
         }
     }
 
+    /// Appends an update record — the single-record re-point of a live
+    /// instance at a (possibly new) class; called with the write locks held
+    /// *after* the tables reflect the update, so `classes` carries the new
+    /// class's hash and representative.
+    pub(crate) fn wal_update(
+        &self,
+        classes: &ClassTable,
+        id: InstanceId,
+        class: ClassId,
+        new_class: bool,
+    ) {
+        let Some(persistence) = &self.persistence else { return };
+        let seq = persistence.seq.fetch_add(1, Ordering::SeqCst);
+        let mut enc = Enc::new();
+        enc.u8(TAG_UPDATE);
+        enc.u64(seq);
+        enc.u64(id as u64);
+        enc.u64(class as u64);
+        enc.u64(classes.hashes[class].as_u64());
+        enc.u8(new_class as u8);
+        if new_class {
+            let rep = classes.reps[class].as_ref().expect("new class has a representative");
+            encode_invariant(&mut enc, rep);
+        }
+        self.append_framed(persistence, &enc.buf);
+    }
+
     /// Appends a removal record; called with the write locks held.
     pub(crate) fn wal_remove(&self, id: InstanceId) {
         let Some(persistence) = &self.persistence else { return };
@@ -936,6 +964,68 @@ fn apply_wal_record(
             instances.slots.push(Some(class));
             instances.live += 1;
             classes.members[class].push(id);
+        }
+        TAG_UPDATE => {
+            let id = dec.u64("wal update id")? as usize;
+            let class = dec.u64("wal update class")? as usize;
+            let hash = CodeHash::from_u64(dec.u64("wal update hash")?);
+            let new_class = match dec.u8("wal new-class flag")? {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(PersistError::Corrupt(format!("bad new-class flag {other}")));
+                }
+            };
+            let invariant = if new_class { Some(decode_invariant(&mut dec)?) } else { None };
+            if seq < snapshot_seq {
+                return Ok(());
+            }
+            let current = instances.slots.get(id).copied().flatten();
+            if current.is_none() {
+                return Err(PersistError::Corrupt(format!(
+                    "wal updates unknown or removed instance {id}"
+                )));
+            }
+            if current != Some(class) {
+                // Detach from the old class (collecting it if emptied), then
+                // attach to the target — exactly the live transition.
+                let (_, collected) = gc::remove_from_tables(classes, instances, id)
+                    .expect("slot checked live above");
+                if collected {
+                    counters.gc_classes.fetch_add(1, Ordering::Relaxed);
+                }
+                if new_class {
+                    if class > classes.reps.len() {
+                        return Err(PersistError::Corrupt(format!(
+                            "wal creates class {class} beyond table end {}",
+                            classes.reps.len()
+                        )));
+                    }
+                    if class == classes.reps.len() {
+                        classes.reps.push(None);
+                        classes.hashes.push(CodeHash::from_u64(0));
+                        classes.members.push(Vec::new());
+                    }
+                    if classes.reps[class].is_some() {
+                        return Err(PersistError::Corrupt(format!(
+                            "wal re-creates live class {class}"
+                        )));
+                    }
+                    classes.reps[class] =
+                        Some(Arc::new(invariant.expect("decoded above when new_class")));
+                    classes.hashes[class] = hash;
+                    classes.by_hash.entry(hash).or_default().push(class);
+                    classes.live += 1;
+                } else if classes.reps.get(class).map(Option::is_some) != Some(true) {
+                    return Err(PersistError::Corrupt(format!(
+                        "wal update of {id} references dead or unknown class {class}"
+                    )));
+                }
+                instances.slots[id] = Some(class);
+                instances.live += 1;
+                crate::update::attach_member(classes, class, id);
+            }
+            counters.updates.fetch_add(1, Ordering::Relaxed);
         }
         TAG_REMOVE => {
             let id = dec.u64("wal remove id")? as usize;

@@ -10,69 +10,18 @@
 //! (`top_naive`) anchors the whole family: parallel output equals sequential
 //! output equals the pre-optimisation oracle.
 
-use std::sync::{Arc, Mutex};
-use topo_core::parallel::{global_threads, set_global_threads};
+use std::sync::Arc;
+use topo_core::parallel::set_global_threads;
 use topo_core::{
     top, top_naive, IngestOutcome, InvariantStore, MemoryBackend, SpatialInstance, StoreConfig,
-    TopologicalQuery,
-};
-use topo_datagen::{
-    figure1, ign_city, nested_rings, scattered_islands, sequoia_hydro, sequoia_landcover, Scale,
 };
 
-/// Serialises every test that touches the process-global pool size, and
-/// restores the environment-derived default on drop so test order cannot
-/// leak one test's sweep into another.
-static POOL_LOCK: Mutex<()> = Mutex::new(());
-
-struct PoolGuard {
-    _lock: std::sync::MutexGuard<'static, ()>,
-    previous: usize,
-}
-
-impl PoolGuard {
-    fn take() -> Self {
-        let lock = POOL_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
-        PoolGuard { previous: global_threads(), _lock: lock }
-    }
-}
-
-impl Drop for PoolGuard {
-    fn drop(&mut self) {
-        set_global_threads(self.previous);
-    }
-}
+mod common;
+use common::{batch_query_mix as query_mix, fingerprint, seeded_workloads as workloads, PoolGuard};
 
 /// The thread counts every sweep runs: sequential fallback, a small pool, the
 /// acceptance-criteria pool, and heavy oversubscription of any host.
 const SWEEP: [usize; 4] = [1, 2, 8, 64];
-
-/// The full fingerprint a build must reproduce exactly.
-fn fingerprint(instance: &SpatialInstance) -> (usize, usize, usize, String, u64) {
-    let invariant = top(instance);
-    (
-        invariant.vertex_count(),
-        invariant.edge_count(),
-        invariant.face_count(),
-        format!("{:?}", invariant.canonical_code()),
-        invariant.code_hash().as_u64(),
-    )
-}
-
-fn workloads() -> Vec<(String, SpatialInstance)> {
-    let mut all = vec![
-        ("figure1".to_string(), figure1()),
-        ("nested_rings(4, 3)".to_string(), nested_rings(4, 3)),
-        ("scattered_islands(8)".to_string(), scattered_islands(8)),
-    ];
-    for seed in [1u64, 42] {
-        let scale = Scale::tiny();
-        all.push((format!("sequoia_landcover(tiny, {seed})"), sequoia_landcover(scale, seed)));
-        all.push((format!("sequoia_hydro(tiny, {seed})"), sequoia_hydro(scale, seed)));
-        all.push((format!("ign_city(tiny, {seed})"), ign_city(scale, seed)));
-    }
-    all
-}
 
 #[test]
 fn seeded_workloads_bit_identical_across_thread_counts() {
@@ -105,18 +54,6 @@ fn parallel_build_matches_frozen_naive_reference() {
         );
         assert_eq!(parallel.cell_count(), oracle.cell_count(), "cell count diverged on {label}");
     }
-}
-
-/// The query mix the batch-equivalence checks answer on both stores.
-fn query_mix() -> Vec<TopologicalQuery> {
-    use TopologicalQuery as Q;
-    vec![
-        Q::Intersects(0, 1),
-        Q::Contains(0, 1),
-        Q::IsConnected(0),
-        Q::Equal(0, 1),
-        Q::Disjoint(1, 2),
-    ]
 }
 
 /// A batch with guaranteed duplicates, so the dedup path is exercised.

@@ -13,55 +13,10 @@ use topo_core::{
     canonical_code_naive, evaluate_on_classes, evaluate_on_invariant, isomorphism_classes, top,
     InvariantStore, MemoryBackend, StoreConfig, TopologicalInvariant, TopologicalQuery,
 };
-use topo_datagen::{
-    figure1, ign_city, nested_rings, scattered_islands, sequoia_hydro, sequoia_landcover, Scale,
-};
+use topo_datagen::figure1;
 
-/// The query mix the equivalence suite runs: every library shape, over the
-/// low region ids shared by all workload schemas (ids beyond a schema are
-/// simply empty regions, on every evaluation route alike).
-fn query_mix() -> Vec<TopologicalQuery> {
-    use TopologicalQuery as Q;
-    vec![
-        Q::Intersects(0, 1),
-        Q::Disjoint(0, 1),
-        Q::Contains(0, 1),
-        Q::Equal(0, 1),
-        Q::BoundaryOnlyIntersection(0, 1),
-        Q::InteriorsOverlap(0, 1),
-        Q::IsConnected(0),
-        Q::IsConnected(1),
-        Q::ComponentCountEven(0),
-        Q::HasHole(0),
-        Q::HasHole(1),
-    ]
-}
-
-/// A mixed seeded workload at one scale: the three cartographic generators
-/// over two seeds, the running examples, and a transformed duplicate of
-/// every base (translation / rotation / reflection round-robin) — so the
-/// batch is duplicate-heavy by construction.
-fn workload(grid: usize) -> Vec<Arc<TopologicalInvariant>> {
-    let scale = Scale { grid };
-    let mut bases = Vec::new();
-    for seed in [1u64, 7] {
-        bases.push(sequoia_landcover(scale, seed));
-        bases.push(sequoia_hydro(scale, seed));
-        bases.push(ign_city(scale, seed));
-    }
-    bases.push(figure1());
-    bases.push(nested_rings(3, 2));
-    bases.push(scattered_islands(4));
-    bases.push(scattered_islands(5));
-    let maps = [
-        AffineMap::translation(50_000, -20_000),
-        AffineMap::rotation90(),
-        AffineMap::reflection_x(),
-    ];
-    let duplicates: Vec<_> =
-        bases.iter().enumerate().map(|(i, b)| maps[i % maps.len()].apply_instance(b)).collect();
-    bases.iter().chain(duplicates.iter()).map(|i| Arc::new(top(i))).collect()
-}
+mod common;
+use common::{equivalence_query_mix as query_mix, mixed_invariant_workload as workload};
 
 /// Ingests every invariant (single-threaded, so ids follow slice order) and
 /// checks the full observable state against the oracles. The frozen

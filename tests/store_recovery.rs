@@ -12,65 +12,42 @@
 //! store — sound, including under concurrent writers.
 
 use std::sync::Arc;
-use topo_core::spatial::transform::AffineMap;
 use topo_core::{
-    top, FaultKind, FaultPlan, FaultSite, FaultyBackend, FileBackend, InvariantStore,
+    FaultKind, FaultPlan, FaultSite, FaultyBackend, FileBackend, IngestOutcome, InvariantStore,
     MemoryBackend, PersistError, StorageBackend, StoreConfig, TopologicalInvariant,
-    TopologicalQuery,
 };
-use topo_datagen::{figure1, nested_rings, scattered_islands, sequoia_landcover, Scale};
 
-fn query_mix() -> Vec<TopologicalQuery> {
-    use TopologicalQuery as Q;
-    vec![
-        Q::Intersects(0, 1),
-        Q::Contains(0, 1),
-        Q::IsConnected(0),
-        Q::ComponentCountEven(0),
-        Q::HasHole(0),
-        Q::HasHole(1),
-    ]
-}
-
-/// A small duplicate-heavy invariant pool: four distinct shapes plus
-/// transformed twins. Built once per test; ingests reuse the `Arc`s so the
-/// (expensive) canonicalisation happens once per shape.
-fn pool() -> Vec<Arc<TopologicalInvariant>> {
-    let bases = [
-        figure1(),
-        nested_rings(2, 2),
-        scattered_islands(3),
-        sequoia_landcover(Scale { grid: 3 }, 1),
-    ];
-    let maps = [AffineMap::translation(40_000, -9_000), AffineMap::rotation90()];
-    let mut out: Vec<Arc<TopologicalInvariant>> = bases.iter().map(|b| Arc::new(top(b))).collect();
-    out.extend(
-        bases.iter().enumerate().map(|(i, b)| Arc::new(top(&maps[i % 2].apply_instance(b)))),
-    );
-    out
-}
+mod common;
+use common::{recovery_pool as pool, recovery_query_mix as query_mix};
 
 /// One mutating operation of a scripted workload.
 #[derive(Clone)]
 enum Op {
     Ingest(Arc<TopologicalInvariant>),
     Remove(usize),
+    Update(usize, Arc<TopologicalInvariant>),
 }
 
 /// The scripted workload every fault scenario runs: ingests with duplicates
-/// interleaved with removals (including one that garbage-collects a class).
+/// interleaved with removals (including one that garbage-collects a class)
+/// and in-place updates covering all three update shapes — no-op,
+/// class-collecting dedup, and class-admitting.
 fn script(pool: &[Arc<TopologicalInvariant>]) -> Vec<Op> {
     vec![
-        Op::Ingest(pool[0].clone()), // id 0, class 0
-        Op::Ingest(pool[1].clone()), // id 1, class 1
-        Op::Ingest(pool[4].clone()), // id 2, dup of class 0
-        Op::Ingest(pool[2].clone()), // id 3, class 2
-        Op::Remove(1),               // collects class 1
-        Op::Ingest(pool[5].clone()), // id 4, dup of class 1's shape → new class
-        Op::Ingest(pool[3].clone()), // id 5, class
-        Op::Remove(0),               // class 0 survives through id 2
-        Op::Ingest(pool[6].clone()), // id 6, dup of class 2
-        Op::Ingest(pool[7].clone()), // id 7, dup of id 5's class
+        Op::Ingest(pool[0].clone()),    // id 0, class 0
+        Op::Ingest(pool[1].clone()),    // id 1, class 1
+        Op::Ingest(pool[4].clone()),    // id 2, dup of class 0
+        Op::Ingest(pool[2].clone()),    // id 3, class 2
+        Op::Remove(1),                  // collects class 1
+        Op::Ingest(pool[5].clone()),    // id 4, dup of class 1's shape → new class
+        Op::Ingest(pool[3].clone()),    // id 5, class
+        Op::Remove(0),                  // class 0 survives through id 2
+        Op::Ingest(pool[6].clone()),    // id 6, dup of class 2
+        Op::Ingest(pool[7].clone()),    // id 7, dup of id 5's class
+        Op::Update(2, pool[1].clone()), // id 2 joins id 4's class; collects its old class
+        Op::Update(6, pool[2].clone()), // no-op: id 6 already sits in that class
+        Op::Update(5, pool[0].clone()), // id 5 re-admits the collected shape as a new class
+        Op::Remove(7),                  // collects id 7's class
     ]
 }
 
@@ -84,6 +61,9 @@ fn run_ops(store: &InvariantStore, ops: &[Op]) {
             }
             Op::Remove(id) => {
                 store.remove_instance(*id);
+            }
+            Op::Update(id, invariant) => {
+                store.update_instance(*id, invariant.clone());
             }
         }
     }
@@ -182,6 +162,114 @@ fn crash_at_every_wal_append_recovers_the_exact_prefix() {
             }
             assert_equivalent(&recovered, &oracle_for(&ops[..n]), &label);
         }
+    }
+}
+
+/// The one-record atomicity contract of `update_instance`: crash (or tear)
+/// the log exactly around each update record and recovery must serve the
+/// complete pre-update state or the complete post-update state — never a
+/// torn middle where the old class was detached but the new one not
+/// attached, or a collected class half-vanished.
+#[test]
+fn update_wal_records_are_atomic_under_crash() {
+    let pool = pool();
+    let ops = script(&pool);
+    let update_indices: Vec<usize> = ops
+        .iter()
+        .enumerate()
+        .filter(|(_, op)| matches!(op, Op::Update(..)))
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(update_indices.len(), 3, "the script must exercise all three update shapes");
+    for kind in [FaultKind::Crash, FaultKind::TornWrite] {
+        for &n in &update_indices {
+            // `boundary == n`: the fault eats the update record — recovery is
+            // the old state. `boundary == n + 1`: the record landed whole —
+            // recovery is the new state. Nothing in between exists.
+            for boundary in [n, n + 1] {
+                let durable = MemoryBackend::new();
+                let faulty = FaultyBackend::new(
+                    durable.clone(),
+                    FaultPlan::once(FaultSite::WalAppend, boundary as u64, kind),
+                );
+                let store = InvariantStore::open(StoreConfig::default(), faulty).unwrap();
+                run_ops(&store, &ops);
+                drop(store);
+                let recovered = InvariantStore::open(StoreConfig::default(), durable).unwrap();
+                let label = format!("{kind:?} around update at op {n}, boundary {boundary}");
+                assert_eq!(recovered.stats().replayed_records as usize, boundary, "{label}");
+                assert_equivalent(&recovered, &oracle_for(&ops[..boundary]), &label);
+            }
+        }
+    }
+
+    // And with no fault at all, every update record replays — including the
+    // no-op one — onto the very state the live store ended with.
+    let durable = MemoryBackend::new();
+    {
+        let store = InvariantStore::open(StoreConfig::default(), durable.clone()).unwrap();
+        run_ops(&store, &ops);
+    }
+    let recovered = InvariantStore::open(StoreConfig::default(), durable).unwrap();
+    assert_eq!(recovered.stats().updates as usize, update_indices.len());
+    assert_equivalent(&recovered, &oracle_for(&ops), "clean update replay");
+}
+
+/// Live semantics of `update_instance`: outcome per path, id stability, the
+/// admission bound counting the slot the update frees, and rejection
+/// leaving the store bit-identical.
+#[test]
+fn update_instance_live_semantics() {
+    let pool = pool();
+    let config = StoreConfig { max_classes: 2, ..StoreConfig::default() };
+    let store = InvariantStore::new(config);
+    assert_eq!(store.ingest_invariant(pool[0].clone()), 0);
+    assert_eq!(store.ingest_invariant(pool[4].clone()), 1); // dup of class 0
+    assert_eq!(store.ingest_invariant(pool[1].clone()), 2); // class 1
+
+    // Unknown id: untouched, no outcome.
+    assert_eq!(store.update_instance(9, pool[2].clone()), None);
+
+    // A new shape while the old class keeps other members frees no slot:
+    // the bound holds and the store is left exactly as it was.
+    let before = store.classes();
+    assert_eq!(store.update_instance(0, pool[2].clone()), Some(IngestOutcome::Rejected));
+    assert_eq!(store.classes(), before, "a rejected update must not move anything");
+    assert_eq!(store.stats().updates, 0);
+    assert_eq!(store.stats().rejected, 1);
+
+    // Dedup into another live class; the old class survives through id 1.
+    assert_eq!(store.update_instance(0, pool[5].clone()), Some(IngestOutcome::Deduplicated(0)));
+    assert_eq!(store.class_of(0), store.class_of(2), "id 0 must share id 2's class");
+    assert_eq!(store.class_count(), 2);
+
+    // Now id 1 is its class's last member: updating it to a new shape frees
+    // that slot, so the same bound admits a fresh class and collects the old.
+    let gc_before = store.stats().gc_classes;
+    assert_eq!(store.update_instance(1, pool[2].clone()), Some(IngestOutcome::Admitted(1)));
+    assert_eq!(store.class_count(), 2);
+    assert_eq!(store.stats().gc_classes, gc_before + 1, "the emptied class must collect");
+
+    // A no-op update (already in that class) is observable only in stats.
+    let partition = store.classes();
+    assert_eq!(store.update_instance(2, pool[1].clone()), Some(IngestOutcome::Deduplicated(2)));
+    assert_eq!(store.classes(), partition);
+    assert_eq!(store.stats().updates, 3);
+
+    // A removed id is dead to updates.
+    assert!(store.remove_instance(0));
+    assert_eq!(store.update_instance(0, pool[1].clone()), None);
+
+    // Final answers equal the per-invariant oracle for the survivors.
+    for query in query_mix() {
+        assert_eq!(
+            store.query(1, &query),
+            Some(topo_core::evaluate_on_invariant(&query, &pool[2]))
+        );
+        assert_eq!(
+            store.query(2, &query),
+            Some(topo_core::evaluate_on_invariant(&query, &pool[1]))
+        );
     }
 }
 

@@ -9,59 +9,13 @@
 //! (`--test-threads=1` and the parallel default), so the store is exercised
 //! under an oversubscribed scheduler as well as an idle one.
 
-use std::sync::Arc;
-use topo_core::spatial::transform::AffineMap;
-use topo_core::{
-    evaluate_on_invariant, isomorphism_classes, top, InvariantStore, SpatialInstance, StoreConfig,
-    TopologicalInvariant, TopologicalQuery,
-};
-use topo_datagen::{
-    figure1, nested_rings, scattered_islands, sequoia_hydro, sequoia_landcover, Scale,
-};
+use topo_core::{evaluate_on_invariant, isomorphism_classes, InvariantStore, StoreConfig};
+
+mod common;
+use common::{stress_batch, stress_query_mix as query_mix};
 
 const WRITERS: usize = 4;
 const READERS: usize = 3;
-
-fn query_mix() -> Vec<TopologicalQuery> {
-    use TopologicalQuery as Q;
-    vec![
-        Q::Intersects(0, 1),
-        Q::Contains(0, 1),
-        Q::BoundaryOnlyIntersection(0, 1),
-        Q::InteriorsOverlap(0, 1),
-        Q::IsConnected(0),
-        Q::ComponentCountEven(0),
-        Q::HasHole(0),
-    ]
-}
-
-/// A duplicate-heavy batch of pre-built invariants: a handful of distinct
-/// tiny topologies, each repeated under several homeomorphic images.
-fn stress_batch() -> Vec<Arc<TopologicalInvariant>> {
-    let scale = Scale { grid: 3 };
-    let bases: Vec<SpatialInstance> = vec![
-        sequoia_landcover(scale, 1),
-        sequoia_hydro(scale, 1),
-        sequoia_landcover(scale, 7),
-        figure1(),
-        nested_rings(3, 2),
-        nested_rings(2, 3),
-        scattered_islands(4),
-        scattered_islands(5),
-    ];
-    let maps = [
-        AffineMap::identity(),
-        AffineMap::translation(90_000, -40_000),
-        AffineMap::rotation90(),
-        AffineMap::reflection_x(),
-        AffineMap::rotation90().compose(&AffineMap::translation(7_777, 311)),
-    ];
-    // Copy-major interleaving, so duplicates of one topology arrive spread
-    // out across the ingest stream (and across writer threads).
-    maps.iter()
-        .flat_map(|map| bases.iter().map(|base| Arc::new(top(&map.apply_instance(base)))))
-        .collect()
-}
 
 /// N writers ingest the batch while M readers hammer queries over whatever
 /// prefix is visible; afterwards the store equals the single-threaded
